@@ -1,0 +1,21 @@
+// parsched — shared plumbing for the experiment binaries (E1..E10).
+// The adversary-measurement methodology lives in the library (tested):
+// analysis/adversary_eval.hpp. This header keeps the benches' historical
+// `bench::` spelling.
+#pragma once
+
+#include "analysis/adversary_eval.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "simcore/engine.hpp"
+
+namespace parsched::bench {
+
+using parsched::AdversaryPoint;
+using parsched::P_for_phases;
+using parsched::run_adversary_point;
+
+inline std::vector<std::string> fast_portfolio() {
+  return adversary_portfolio();
+}
+
+}  // namespace parsched::bench

@@ -1,0 +1,79 @@
+// E11 — simulator throughput (google-benchmark microbenchmarks).
+//
+// Not a paper experiment: establishes that the substrate scales to the
+// instance sizes the reproduction sweeps use (hundreds of thousands of
+// jobs) on a laptop, as the repro band promises.
+#include <benchmark/benchmark.h>
+
+#include "sched/registry.hpp"
+#include "sched/opt/plan.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "simcore/engine.hpp"
+#include "workload/greedy_killer.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+RandomWorkloadConfig perf_config(std::int64_t jobs) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 16;
+  cfg.jobs = static_cast<std::size_t>(jobs);
+  cfg.P = 64.0;
+  cfg.load = 1.0;
+  cfg.alpha_lo = cfg.alpha_hi = 0.5;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+void BM_EnginePolicy(benchmark::State& state, const std::string& policy) {
+  const Instance inst = make_random_instance(perf_config(state.range(0)));
+  auto sched = make_scheduler(policy);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const SimResult r = simulate(inst, *sched);
+    events += r.events;
+    benchmark::DoNotOptimize(r.total_flow);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(inst.size());
+}
+
+void BM_Isrpt(benchmark::State& state) { BM_EnginePolicy(state, "isrpt"); }
+void BM_Equi(benchmark::State& state) { BM_EnginePolicy(state, "equi"); }
+void BM_Greedy(benchmark::State& state) { BM_EnginePolicy(state, "greedy"); }
+
+BENCHMARK(BM_Isrpt)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Equi)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Greedy)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SrptRelaxation(benchmark::State& state) {
+  const Instance inst = make_random_instance(perf_config(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srpt_speed_m_lower_bound(inst));
+  }
+}
+BENCHMARK(BM_SrptRelaxation)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlanExecution(benchmark::State& state) {
+  GreedyKillerConfig cfg;
+  cfg.machines = 64;
+  cfg.alpha = 0.5;
+  cfg.stream_time = static_cast<double>(state.range(0));
+  const GreedyKillerInstance gk = make_greedy_killer(cfg);
+  const Plan plan = greedy_killer_alternative_plan(gk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(execute_plan(gk.instance, plan).total_flow);
+  }
+  state.counters["jobs"] = static_cast<double>(gk.instance.size());
+}
+BENCHMARK(BM_PlanExecution)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace parsched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E13 (extension) — multi-phase jobs with arbitrary speedup curves.
+//
+// The related-work model ([Edmonds], [Edmonds–Pruhs]): jobs alternate
+// highly parallel phases with poorly parallelizable bottleneck phases,
+// invisible to the scheduler. The paper's Intermediate-SRPT only assumes
+// remaining-work clairvoyance, so it runs unchanged here; this experiment
+// checks that its advantage over the extremes survives phase structure
+// (the reason the literature cares about EQUI-style robustness).
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/phased.hpp"
+
+using namespace parsched;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int m = static_cast<int>(opt.get_int("machines", 16));
+  const int seeds = static_cast<int>(opt.get_int("seeds", 4));
+  const auto fractions =
+      opt.get_doubles("bottleneck", {0.1, 0.25, 0.5, 0.75});
+  const std::vector<std::string> policies{"isrpt", "seq-srpt", "par-srpt",
+                                          "equi", "laps:0.5"};
+
+  std::vector<std::string> headers{"bottleneck_frac"};
+  for (const auto& p : policies) headers.push_back(p);
+  Table t(headers, 3);
+  for (double frac : fractions) {
+    std::vector<Cell> row;
+    row.emplace_back(frac);
+    for (const auto& policy : policies) {
+      RunningStats stats;
+      for (int s = 0; s < seeds; ++s) {
+        PhasedWorkloadConfig cfg;
+        cfg.machines = m;
+        cfg.jobs = 300;
+        cfg.bottleneck_fraction = frac;
+        cfg.load = 0.9;
+        cfg.seed = static_cast<std::uint64_t>(s) * 131 + 29;
+        const Instance inst = make_phased_instance(cfg);
+        auto sched = make_scheduler(policy);
+        stats.add(simulate(inst, *sched).total_flow /
+                  opt_lower_bound(inst));
+      }
+      row.emplace_back(stats.mean());
+    }
+    t.add_row(std::move(row));
+  }
+  emit_experiment(
+      "E13: multi-phase jobs (parallel map + sequential bottleneck)",
+      "Ratios vs the provable LB as the bottleneck share grows. "
+      "Parallel-SRPT collapses once bottleneck phases appear; ISRPT "
+      "degrades gracefully.",
+      t);
+  return 0;
+}

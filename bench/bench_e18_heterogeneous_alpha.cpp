@@ -1,0 +1,62 @@
+// E18 — Theorem 1's general statement: per-job parallelizability.
+//
+// The theorem allows every job its own alpha_j with the bound driven by
+// alpha = max_j alpha_j ("In particular, this holds for the special case
+// that each alpha_j = alpha"). We check that heterogeneity does not help
+// the adversary nor hurt ISRPT beyond the max-alpha envelope: the
+// measured ratio with alpha_j ~ U[lo, hi] tracks the fixed-alpha = hi
+// case, not some worse blow-up.
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "util/mathx.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/random.hpp"
+
+using namespace parsched;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int m = static_cast<int>(opt.get_int("machines", 8));
+  const int seeds = static_cast<int>(opt.get_int("seeds", 5));
+  const double P = opt.get_double("P", 64.0);
+  struct Range {
+    double lo, hi;
+  };
+  const Range ranges[] = {{0.5, 0.5}, {0.2, 0.5}, {0.0, 0.5},
+                          {0.8, 0.8}, {0.2, 0.8}, {0.0, 0.8}};
+
+  Table t({"alpha_lo", "alpha_hi", "isrpt_ratio_mean", "isrpt_ratio_max",
+           "envelope_at_max_alpha"});
+  for (const Range& r : ranges) {
+    RunningStats stats;
+    for (int s = 0; s < seeds; ++s) {
+      RandomWorkloadConfig cfg;
+      cfg.machines = m;
+      cfg.jobs = 400;
+      cfg.P = P;
+      cfg.load = 1.0;
+      cfg.alpha_law = r.lo == r.hi ? AlphaLaw::kFixed : AlphaLaw::kUniform;
+      cfg.alpha_lo = r.lo;
+      cfg.alpha_hi = r.hi;
+      cfg.seed = static_cast<std::uint64_t>(s) * 601 + 23;
+      const Instance inst = make_random_instance(cfg);
+      auto sched = make_scheduler("isrpt");
+      stats.add(simulate(inst, *sched).total_flow /
+                opt_lower_bound(inst));
+    }
+    t.add_row({r.lo, r.hi, stats.mean(), stats.max(),
+               theorem1_envelope(std::max(r.hi, 0.01), P)});
+  }
+  emit_experiment(
+      "E18: heterogeneous per-job alpha_j (Theorem 1's general case)",
+      "Mixing lower alphas under the same max tracks the fixed-max-alpha "
+      "ratio (within seed noise); the bound is governed by max_j alpha_j.",
+      t);
+  return 0;
+}

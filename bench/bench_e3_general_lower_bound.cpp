@@ -1,0 +1,68 @@
+// E3 — Theorem 2: EVERY online algorithm is Omega(log P)-competitive.
+//
+// The adaptive adversary adapts to whichever policy it faces: policies
+// that drain unit jobs promptly (ISRPT, Seq-SRPT) are walked through all
+// phases and stuck with long-job backlog ("case 2"); policies that let
+// unit jobs linger (EQUI, LAPS) are punished at the first midpoint
+// ("case 1"). Either way the ratio grows with log P.
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench_common.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace parsched;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const int m = static_cast<int>(opt.get_int("machines", 8));
+  const double alpha = opt.get_double("alpha", 0.0);
+  const int max_phases = static_cast<int>(opt.get_int("phases", 4));
+  const std::vector<std::string> policies{"isrpt", "seq-srpt", "equi",
+                                          "laps:0.5", "greedy"};
+  std::vector<double> Ps = opt.get_doubles("P", {});
+  if (Ps.empty()) {
+    for (int L = 1; L <= max_phases; ++L) {
+      Ps.push_back(bench::P_for_phases(alpha, L));
+    }
+  }
+
+  Table t({"policy", "P", "phases", "case1", "backlog", "ratio_at_X0",
+           "ratio_at_P^2", "best_feasible"});
+  for (const auto& policy : policies) {
+    for (double P : Ps) {
+      AdversaryConfig cfg;
+      cfg.machines = m;
+      cfg.P = P;
+      cfg.alpha = alpha;
+      const auto pt = bench::run_adversary_point(policy, cfg);
+      t.add_row({policy, P, static_cast<std::int64_t>(pt.phases),
+                 std::string(pt.case1 ? "yes" : "no"), pt.alive_tail,
+                 pt.ratio_lb(), pt.ratio_extrapolated(), pt.best_name});
+    }
+  }
+  emit_experiment(
+      "E3: general lower bound (every policy vs the adaptive adversary)",
+      "Theorem 2: for every policy the ratio against the best feasible "
+      "schedule grows with log P (alpha = " +
+          std::to_string(alpha) + ").",
+      t);
+  std::cout << "\nPer-policy growth fits (extrapolated ratio vs log2 P):\n";
+  for (const auto& policy : policies) {
+    Table sub({"P", "ratio_at_P^2"});
+    const auto names = t.numeric_column("P");
+    const auto ratios = t.numeric_column("ratio_at_P^2");
+    // Rows are grouped: policies.size() blocks of Ps.size() rows each.
+    const std::size_t block = Ps.size();
+    const std::size_t offset =
+        block * (std::find(policies.begin(), policies.end(), policy) -
+                 policies.begin());
+    for (std::size_t i = 0; i < block; ++i) {
+      sub.add_row({names[offset + i], ratios[offset + i]});
+    }
+    std::cout << policy << ": ";
+    fit_against_log2(sub, "P", "ratio_at_P^2");
+  }
+  return 0;
+}

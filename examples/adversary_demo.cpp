@@ -1,0 +1,77 @@
+// adversary_demo — watch the Theorem-2 adversary defeat a policy of your
+// choice, phase by phase.
+//
+//   $ ./adversary_demo --policy=isrpt --P=256 --alpha=0.25
+//   $ ./adversary_demo --policy=equi
+//
+// Narrates the adaptive construction (phase lengths, midpoint decisions,
+// when part 2 fires) and reports the resulting competitive-ratio estimate
+// against the paper's standard schedule.
+#include <iomanip>
+#include <iostream>
+
+#include "sched/opt/plan.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "util/options.hpp"
+#include "workload/adversary.hpp"
+
+using namespace parsched;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  AdversaryConfig cfg;
+  cfg.machines = static_cast<int>(opt.get_int("machines", 8));
+  cfg.P = opt.get_double("P", 256.0);
+  cfg.alpha = opt.get_double("alpha", 0.0);
+  cfg.stream_time = opt.get_double("stream", 4096.0);
+  const std::string policy = opt.get("policy", "isrpt");
+
+  const AdversaryParams params = adversary_params(cfg);
+  std::cout << "Adversary (Section 4): alpha=" << cfg.alpha
+            << "  eps=" << params.epsilon << "  r=" << params.r
+            << "  kappa=" << params.kappa << "\n"
+            << "  up to " << params.num_phases
+            << " phase(s); midpoint trigger threshold = " << params.threshold
+            << " units of unfinished short work\n"
+            << "  proof side-condition log^2 P < kappa sqrt(P)/4: "
+            << (params.proof_condition ? "satisfied" : "NOT satisfied (the "
+               "construction still runs; the counting argument may be loose)")
+            << "\n\n";
+
+  AdversarySource source(cfg);
+  auto sched = make_scheduler(policy);
+  Engine engine(cfg.machines);
+  const SimResult alg = engine.run(*sched, source);
+  const AdversaryOutcome& out = source.outcome();
+
+  std::cout << "Against " << sched->name() << ":\n";
+  for (std::size_t i = 0; i < out.phase_start.size(); ++i) {
+    std::cout << "  phase " << i << ": start=" << std::setw(10)
+              << out.phase_start[i] << "  length=" << out.phase_length[i]
+              << "  (m/2 long jobs of that length + m unit jobs per "
+                 "integer step of the first half)\n";
+  }
+  std::cout << (out.case1
+                    ? "  -> case 1: the policy hoarded unit jobs; part 2 "
+                      "fired at the midpoint of phase "
+                    : "  -> case 2: the policy kept up with unit jobs "
+                      "through every phase; part 2 fired after phase ")
+            << out.decision_phase << " (T = " << out.T << ")\n\n";
+
+  const Instance realized(cfg.machines, alg.realized_jobs());
+  const Plan plan = adversary_standard_plan(realized, cfg, out);
+  const double plan_flow = execute_plan(realized, plan).total_flow;
+  const double lb = opt_lower_bound(realized);
+  std::cout << "Jobs released: " << alg.jobs() << "\n"
+            << "Policy total flow:            " << alg.total_flow << "\n"
+            << "Standard schedule total flow: " << plan_flow << "\n"
+            << "Provable OPT lower bound:     " << lb << "\n"
+            << "=> competitive ratio between "
+            << alg.total_flow / std::min(plan_flow, alg.total_flow)
+            << " and " << alg.total_flow / lb << " on this instance\n"
+            << "(run with larger --stream to approach the paper's X = P^2 "
+               "asymptotics)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// policy_explorer — which policy wins where?
+//
+//   $ ./policy_explorer --a=isrpt --b=equi
+//   $ ./policy_explorer --a=par-srpt --b=seq-srpt --machines=32
+//
+// Sweeps a grid of (parallelizability alpha) x (offered load) and prints,
+// for each cell, which of two chosen policies achieves lower total flow
+// time and by what factor — a quick intuition tool for the trade-off the
+// paper formalizes.
+#include <iomanip>
+#include <iostream>
+
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "workload/random.hpp"
+
+using namespace parsched;
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  const std::string name_a = opt.get("a", "isrpt");
+  const std::string name_b = opt.get("b", "equi");
+  const int m = static_cast<int>(opt.get_int("machines", 16));
+  const int seeds = static_cast<int>(opt.get_int("seeds", 3));
+  const auto alphas = opt.get_doubles("alpha", {0.1, 0.3, 0.5, 0.7, 0.9});
+  const auto loads = opt.get_doubles("load", {0.5, 0.8, 1.1, 1.4});
+
+  auto a = make_scheduler(name_a);
+  auto b = make_scheduler(name_b);
+  std::cout << "Cells show flow(" << a->name() << ") / flow(" << b->name()
+            << "): < 1 means " << a->name() << " wins.\n\n";
+  std::cout << std::setw(8) << "alpha\\load";
+  for (double load : loads) std::cout << std::setw(10) << load;
+  std::cout << "\n";
+  for (double alpha : alphas) {
+    std::cout << std::setw(8) << alpha << "  ";
+    for (double load : loads) {
+      RunningStats ratio;
+      for (int s = 0; s < seeds; ++s) {
+        RandomWorkloadConfig cfg;
+        cfg.machines = m;
+        cfg.jobs = 300;
+        cfg.P = 64.0;
+        cfg.alpha_lo = cfg.alpha_hi = alpha;
+        cfg.load = load;
+        cfg.seed = static_cast<std::uint64_t>(s) * 57 + 2;
+        const Instance inst = make_random_instance(cfg);
+        const double fa = simulate(inst, *a).total_flow;
+        const double fb = simulate(inst, *b).total_flow;
+        ratio.add(fa / fb);
+      }
+      std::cout << std::setw(10) << std::fixed << std::setprecision(3)
+                << ratio.mean();
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

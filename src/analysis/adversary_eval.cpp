@@ -1,0 +1,73 @@
+#include "analysis/adversary_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/opt/portfolio.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/trajectory.hpp"
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+std::vector<std::string> adversary_portfolio() {
+  return {"isrpt", "seq-srpt", "equi", "laps:0.5", "greedy"};
+}
+
+double AdversaryPoint::ratio_extrapolated() const {
+  const double extra = X_full - X0;
+  const double alg_x = alg_flow + extra * alive_tail;
+  const double plan_x =
+      plan_flow +
+      extra * (static_cast<double>(machines) +
+               (case1 ? static_cast<double>(machines) / 2.0 : 0.0));
+  return alg_x / plan_x;
+}
+
+AdversaryPoint run_adversary_point(const std::string& policy,
+                                   const AdversaryConfig& cfg,
+                                   double stream_cap) {
+  AdversaryConfig capped = cfg;
+  const double X_full =
+      cfg.stream_time > 0.0 ? cfg.stream_time : cfg.P * cfg.P;
+  capped.stream_time = std::min(X_full, stream_cap);
+
+  AdversarySource source(capped);
+  auto sched = make_scheduler(policy);
+  Engine engine(capped.machines);
+  CountTracker tracker;
+  engine.add_observer(&tracker);
+  const SimResult alg = engine.run(*sched, source);
+  const Instance realized(capped.machines, alg.realized_jobs());
+  const Plan plan =
+      adversary_standard_plan(realized, capped, source.outcome());
+  const PortfolioResult pf = run_portfolio(
+      realized, {{"standard-schedule", plan}}, adversary_portfolio());
+
+  AdversaryPoint pt;
+  pt.alg_flow = alg.total_flow;
+  pt.opt_upper = pf.best_flow;
+  pt.opt_lower = opt_lower_bound(realized);
+  pt.plan_flow = pf.flows.at("standard-schedule");
+  pt.case1 = source.outcome().case1;
+  pt.phases = static_cast<int>(source.outcome().phase_start.size());
+  pt.machines = capped.machines;
+  pt.jobs = alg.jobs();
+  pt.best_name = pf.best_name;
+  pt.X0 = capped.stream_time;
+  pt.X_full = X_full;
+  // Steady-state backlog: alive count shortly before the stream ends.
+  const double probe =
+      source.outcome().T + std::max(0.0, capped.stream_time - 2.0);
+  pt.alive_tail = tracker.alive_count().value(probe);
+  return pt;
+}
+
+double P_for_phases(double alpha, int phases) {
+  const AdversaryConstants c = adversary_constants(alpha);
+  return std::pow(1.0 / c.r, 2.0 * phases) * 1.0001;
+}
+
+}  // namespace parsched

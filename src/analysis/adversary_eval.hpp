@@ -1,0 +1,66 @@
+// parsched — measuring a policy against the Theorem-2 adversary.
+//
+// The paper's part-2 stream has length X = P², which is astronomically
+// many unit jobs for large P; moreover realizing L phases needs
+// P ≈ (1/r)^{2L}. This module packages the measurement methodology used
+// by benches E1/E2/E3/E10:
+//
+//  * run the policy against the adaptive adversary with a *capped* stream
+//    X₀;
+//  * estimate OPT on the realized instance from the paper's standard
+//    schedule plus a policy portfolio;
+//  * extrapolate both flows to the full X = P² in closed form — in the
+//    stream's steady state the online algorithm carries a constant
+//    backlog (its alive count near the stream end) while the standard
+//    schedule carries exactly m jobs, plus the m/2 deferred decision-phase
+//    long jobs in case 1, so both flows are exactly linear in the stream
+//    tail. The standard schedule stays feasible at any X, making the
+//    extrapolated ratio a valid lower estimate of the competitive ratio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/adversary.hpp"
+
+namespace parsched {
+
+/// Portfolio used for the OPT upper bound on large adversarial instances.
+/// Parallel-SRPT is excluded: it is never competitive there and costs
+/// O(alive) per decision on instances that starve it.
+[[nodiscard]] std::vector<std::string> adversary_portfolio();
+
+struct AdversaryPoint {
+  double alg_flow = 0.0;    ///< measured at the capped stream X0
+  double opt_upper = 0.0;   ///< best feasible schedule found (at X0)
+  double opt_lower = 0.0;   ///< provable lower bound (at X0)
+  double plan_flow = 0.0;   ///< the standard schedule's flow (at X0)
+  double alive_tail = 0.0;  ///< ALG's alive-job count in stream steady state
+  double X0 = 0.0;          ///< simulated stream length
+  double X_full = 0.0;      ///< the paper's P^2 (or the configured X)
+  bool case1 = false;
+  int phases = 0;           ///< realized number of phases
+  int machines = 0;
+  std::size_t jobs = 0;
+  std::string best_name;
+
+  /// Measured ratio against the best feasible schedule at X0.
+  [[nodiscard]] double ratio_lb() const { return alg_flow / opt_upper; }
+  /// Measured ratio against the provable lower bound at X0.
+  [[nodiscard]] double ratio_ub() const { return alg_flow / opt_lower; }
+  /// Ratio extrapolated to the full stream X (see file comment).
+  [[nodiscard]] double ratio_extrapolated() const;
+};
+
+/// Run `policy` (registry spec) against the adversary; stream capped at
+/// `stream_cap` time units and extrapolated to cfg.stream_time (or P²).
+[[nodiscard]] AdversaryPoint run_adversary_point(
+    const std::string& policy, const AdversaryConfig& cfg,
+    double stream_cap = 4096.0);
+
+/// Smallest P realizing exactly `phases` adversary phases for this alpha:
+/// L = floor(log_{1/r}(P)/2) so P = (1/r)^{2L} (nudged up so the floor
+/// lands on L).
+[[nodiscard]] double P_for_phases(double alpha, int phases);
+
+}  // namespace parsched

@@ -1,0 +1,23 @@
+#include "analysis/competitive.hpp"
+
+#include "sched/opt/relaxations.hpp"
+#include "simcore/engine.hpp"
+
+namespace parsched {
+
+CompetitiveReport compare_to_opt(
+    const Instance& instance, Scheduler& sched,
+    const std::vector<std::pair<std::string, Plan>>& plans) {
+  CompetitiveReport rep;
+  rep.policy = sched.name();
+  const SimResult alg = simulate(instance, sched);
+  rep.alg_flow = alg.total_flow;
+  rep.jobs = alg.jobs();
+  const OptEstimate est = estimate_opt(instance, plans);
+  rep.opt_lower = est.lower;
+  rep.opt_upper = est.upper;
+  rep.opt_upper_name = est.upper_name;
+  return rep;
+}
+
+}  // namespace parsched

@@ -1,0 +1,47 @@
+// parsched — competitive-ratio estimation.
+//
+// OPT is sandwiched between provable lower bounds and the best feasible
+// schedule found (see sched/opt). For a policy ALG on an instance:
+//
+//   ratio_lb = flow(ALG) / flow(best feasible schedule)   <= true ratio
+//   ratio_ub = flow(ALG) / max(lower bounds)              >= true ratio
+//
+// Benches report both; qualitative conclusions (log P growth, Greedy's
+// polynomial blow-up) hold for either end of the sandwich.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/opt/plan.hpp"
+#include "sched/opt/portfolio.hpp"
+#include "simcore/instance.hpp"
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+struct CompetitiveReport {
+  std::string policy;
+  double alg_flow = 0.0;
+  double opt_lower = 0.0;     ///< provable LB on OPT
+  double opt_upper = 0.0;     ///< best feasible schedule's flow
+  std::string opt_upper_name;
+  std::size_t jobs = 0;
+
+  /// Lower estimate of the competitive ratio (vs the feasible schedule).
+  [[nodiscard]] double ratio_lb() const {
+    return opt_upper > 0.0 ? alg_flow / opt_upper : 0.0;
+  }
+  /// Upper estimate of the competitive ratio (vs the provable LB).
+  [[nodiscard]] double ratio_ub() const {
+    return opt_lower > 0.0 ? alg_flow / opt_lower : 0.0;
+  }
+};
+
+/// Simulate `sched` on `instance`, estimate OPT (optionally helped by
+/// instance-specific feasible `plans`), and report the sandwich.
+[[nodiscard]] CompetitiveReport compare_to_opt(
+    const Instance& instance, Scheduler& sched,
+    const std::vector<std::pair<std::string, Plan>>& plans = {});
+
+}  // namespace parsched

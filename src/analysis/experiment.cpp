@@ -1,0 +1,51 @@
+#include "analysis/experiment.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <iostream>
+
+namespace parsched {
+
+namespace {
+
+/// "E4: Greedy hybrid (X = m^2)" -> "e4_greedy_hybrid_x_m_2".
+std::string slugify(const std::string& s) {
+  std::string out;
+  bool last_sep = true;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      last_sep = false;
+    } else if (!last_sep) {
+      out += '_';
+      last_sep = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+void emit_experiment(const std::string& name, const std::string& claim,
+                     const Table& table) {
+  std::cout << "\n=== " << name << " ===\n";
+  if (!claim.empty()) std::cout << claim << "\n";
+  table.print(std::cout);
+  const std::string csv = slugify(name) + ".csv";
+  table.write_csv(csv);
+  std::cout << "(rows mirrored to " << csv << ")\n";
+}
+
+LinearFit fit_against_log2(const Table& table, const std::string& x_col,
+                           const std::string& y_col) {
+  auto x = table.numeric_column(x_col);
+  auto y = table.numeric_column(y_col);
+  for (double& v : x) v = std::log2(v);
+  const LinearFit fit = linear_fit(x, y);
+  std::cout << y_col << " ~= " << fit.slope << " * log2(" << x_col << ") + "
+            << fit.intercept << "   (R^2 = " << fit.r2 << ")\n";
+  return fit;
+}
+
+}  // namespace parsched

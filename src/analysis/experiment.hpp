@@ -1,0 +1,24 @@
+// parsched — shared plumbing for the bench binaries.
+//
+// Every experiment prints a paper-style table, mirrors it to CSV next to
+// the binary, and (where the theory predicts logarithmic growth) reports a
+// least-squares fit of the measured ratios against log2 P.
+#pragma once
+
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace parsched {
+
+/// Print `table` under a banner, write `<name>.csv`, return the table.
+void emit_experiment(const std::string& name, const std::string& claim,
+                     const Table& table);
+
+/// Fit y ~ a * log2(x) + b over the two named numeric columns and print
+/// the result (used to quantify the Theorem-1 / Theorem-2 log P growth).
+LinearFit fit_against_log2(const Table& table, const std::string& x_col,
+                           const std::string& y_col);
+
+}  // namespace parsched

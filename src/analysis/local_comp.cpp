@@ -1,0 +1,76 @@
+#include "analysis/local_comp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+double volume_classes_at_most(const ScheduleTrajectories& s, double t,
+                              int k) {
+  double vol = 0.0;
+  for (const auto& [id, jt] : s.jobs()) {
+    if (!s.alive_at(id, t)) continue;
+    const double rem = jt.remaining.value(t);
+    if (rem <= 0.0) continue;
+    if (size_class(rem) <= k) vol += rem;
+  }
+  return vol;
+}
+
+std::size_t count_classes_between(const ScheduleTrajectories& s, double t,
+                                  int lo, int hi) {
+  std::size_t n = 0;
+  for (const auto& [id, jt] : s.jobs()) {
+    if (!s.alive_at(id, t)) continue;
+    const double rem = jt.remaining.value(t);
+    if (rem <= 0.0) continue;
+    const int k = size_class(rem);
+    if (k >= lo && k <= hi) ++n;
+  }
+  return n;
+}
+
+LocalCompReport check_local_competitiveness(const ScheduleTrajectories& alg,
+                                            const ScheduleTrajectories& ref,
+                                            int m, double P) {
+  LocalCompReport rep;
+  const auto ga = alg.breakpoints();
+  const auto gr = ref.breakpoints();
+  std::vector<double> grid;
+  std::merge(ga.begin(), ga.end(), gr.begin(), gr.end(),
+             std::back_inserter(grid));
+  const int kmax = static_cast<int>(std::floor(std::log2(std::max(P, 1.0))));
+  const double md = static_cast<double>(m);
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    if (grid[i + 1] - grid[i] <= 1e-12) continue;
+    const double t = 0.5 * (grid[i] + grid[i + 1]);
+    ++rep.samples;
+    const auto A = static_cast<double>(alg.alive_count_at(t));
+    if (A < md) continue;  // lemmas apply at overloaded times only
+    ++rep.overloaded_samples;
+    const auto OPT = static_cast<double>(ref.alive_count_at(t));
+    const double lemma1_rhs = md * (3.0 + std::log2(P)) + 2.0 * OPT;
+    rep.lemma1_worst = std::max(rep.lemma1_worst, A / lemma1_rhs);
+    // Lemma 5: classes 0..kmax for the algorithm, <= kmax (incl. class
+    // -1) for the reference.
+    const auto a_classes =
+        static_cast<double>(count_classes_between(alg, t, 0, kmax));
+    const auto opt_classes =
+        static_cast<double>(count_classes_between(ref, t, -1, kmax));
+    const double lemma5_rhs =
+        md * static_cast<double>(kmax + 2) + 2.0 * opt_classes;
+    rep.lemma5_worst = std::max(rep.lemma5_worst, a_classes / lemma5_rhs);
+    for (int k = -1; k <= kmax; ++k) {
+      const double dv = volume_classes_at_most(alg, t, k) -
+                        volume_classes_at_most(ref, t, k);
+      const double bound = md * std::exp2(k + 1);
+      rep.lemma4_worst = std::max(rep.lemma4_worst, dv / bound);
+    }
+  }
+  return rep;
+}
+
+}  // namespace parsched

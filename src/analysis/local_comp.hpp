@@ -1,0 +1,50 @@
+// parsched — empirical verification of the local-competitiveness lemmas.
+//
+// Section 2.2: at overloaded times t (|A(t)| >= m) Intermediate-SRPT
+// behaves like Sequential-SRPT, and the paper proves
+//
+//   Lemma 4:  DeltaV_{<=k}(t) <= m * 2^{k+1}   for every size class k,
+//   Lemma 5:  delta^A_{>=0,<=kmax}(t) <= m(kmax + 2)
+//                                        + 2 delta^OPT_{<=kmax}(t),
+//   Lemma 1:  |A(t)| <= m(3 + log P) + 2|OPT(t)|.
+//
+// This module samples the merged breakpoint grid of the two schedules and
+// reports the worst observed ratio of each inequality (values <= 1 mean
+// the lemma held pointwise against the OPT surrogate).
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/trajectories.hpp"
+
+namespace parsched {
+
+struct LocalCompReport {
+  /// max over overloaded samples of |A| / (m(3 + log2 P) + 2|OPT|).
+  double lemma1_worst = 0.0;
+  /// max over overloaded samples and classes k of
+  /// DeltaV_{<=k} / (m * 2^{k+1}).
+  double lemma4_worst = 0.0;
+  /// max over overloaded samples of
+  /// delta^A_{>=0,<=kmax} / (m(kmax + 2) + 2 delta^OPT_{<=kmax}).
+  double lemma5_worst = 0.0;
+  std::size_t overloaded_samples = 0;
+  std::size_t samples = 0;
+};
+
+[[nodiscard]] LocalCompReport check_local_competitiveness(
+    const ScheduleTrajectories& alg, const ScheduleTrajectories& ref, int m,
+    double P);
+
+/// Volume of alive jobs of schedule `s` at time t restricted to size
+/// classes <= k (class of a job = floor(log2 remaining), -1 when < 1).
+/// Exposed for unit tests.
+[[nodiscard]] double volume_classes_at_most(const ScheduleTrajectories& s,
+                                            double t, int k);
+
+/// Number of alive jobs of schedule `s` at time t whose size class lies
+/// in [lo, hi]. Exposed for unit tests.
+[[nodiscard]] std::size_t count_classes_between(const ScheduleTrajectories& s,
+                                                double t, int lo, int hi);
+
+}  // namespace parsched

@@ -1,0 +1,181 @@
+#include "analysis/potential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+namespace {
+
+/// Alive ALG jobs at time t sorted by (release, id) — rank order.
+std::vector<const JobTrajectory*> alive_by_release(
+    const ScheduleTrajectories& alg, double t) {
+  std::vector<const JobTrajectory*> alive;
+  for (const auto& [id, jt] : alg.jobs()) {
+    (void)id;
+    if (t >= jt.job.release && t < jt.completion) alive.push_back(&jt);
+  }
+  std::sort(alive.begin(), alive.end(),
+            [](const JobTrajectory* a, const JobTrajectory* b) {
+              if (a->job.release != b->job.release) {
+                return a->job.release < b->job.release;
+              }
+              return a->job.id < b->job.id;
+            });
+  return alive;
+}
+
+}  // namespace
+
+double potential_at(const ScheduleTrajectories& alg,
+                    const ScheduleTrajectories& ref, int m, double t) {
+  const auto alive = alive_by_release(alg, t);
+  double phi = 0.0;
+  for (std::size_t pos = 0; pos < alive.size(); ++pos) {
+    const JobTrajectory& jt = *alive[pos];
+    const double rank =
+        std::min(static_cast<double>(m), static_cast<double>(pos + 1));
+    const double z = std::max(
+        jt.remaining.value(t) - ref.remaining_at(jt.job.id, t), 0.0);
+    if (z <= 0.0) continue;
+    phi += z / jt.job.curve.rate(static_cast<double>(m) / rank);
+  }
+  return 16.0 * phi;
+}
+
+PotentialFlux potential_flux_at(const ScheduleTrajectories& alg,
+                                const ScheduleTrajectories& ref, int m,
+                                double t) {
+  PotentialFlux flux;
+  const auto alive = alive_by_release(alg, t);
+  for (std::size_t pos = 0; pos < alive.size(); ++pos) {
+    const JobTrajectory& jt = *alive[pos];
+    const double z =
+        jt.remaining.value(t) - ref.remaining_at(jt.job.id, t);
+    if (z <= 0.0) continue;  // z_i = 0: neither side moves the term
+    const double rank =
+        std::min(static_cast<double>(m), static_cast<double>(pos + 1));
+    const double denom = jt.job.curve.rate(static_cast<double>(m) / rank);
+    // Processing rates are the negated slopes of the remaining-work
+    // trajectories (0 for OPT once it finished the job).
+    const double alg_rate = -jt.remaining.right_derivative(t);
+    double opt_rate = 0.0;
+    const auto it = ref.jobs().find(jt.job.id);
+    if (it != ref.jobs().end() && ref.alive_at(jt.job.id, t)) {
+      opt_rate = -it->second.remaining.right_derivative(t);
+    }
+    flux.opt_side += 16.0 * std::max(opt_rate, 0.0) / denom;
+    flux.alg_side -= 16.0 * std::max(alg_rate, 0.0) / denom;
+  }
+  return flux;
+}
+
+PotentialReport analyze_potential(const ScheduleTrajectories& alg,
+                                  const ScheduleTrajectories& ref, int m,
+                                  double P, double alpha) {
+  PotentialReport rep;
+  const auto grid_alg = alg.breakpoints();
+  const auto grid_ref = ref.breakpoints();
+  std::vector<double> grid;
+  grid.reserve(grid_alg.size() + grid_ref.size());
+  std::merge(grid_alg.begin(), grid_alg.end(), grid_ref.begin(),
+             grid_ref.end(), std::back_inserter(grid));
+  std::vector<double> uniq;
+  for (double t : grid) {
+    if (uniq.empty() || t - uniq.back() > 1e-12) uniq.push_back(t);
+  }
+  if (uniq.size() < 2) return rep;
+
+  const double env2 =
+      alpha < 1.0 ? std::pow(4.0, 1.0 / (1.0 - alpha)) * std::log2(P) : 1.0;
+  const double env3 =
+      alpha < 1.0 ? std::pow(2.0, 1.0 / (1.0 - alpha)) : 1.0;
+
+  rep.phi_start = potential_at(alg, ref, m, uniq.front());
+  rep.phi_end = potential_at(alg, ref, m, uniq.back());
+
+  double prev_right_phi = rep.phi_start;
+  bool have_prev = false;
+  for (std::size_t i = 0; i + 1 < uniq.size(); ++i) {
+    const double t0 = uniq[i];
+    const double t1 = uniq[i + 1];
+    const double len = t1 - t0;
+    if (len <= 1e-12) continue;
+    const double delta = std::min(len * 0.25, 1e-6 * std::max(1.0, t0));
+    const double ta = t0 + delta;
+    const double tb = t1 - delta;
+    const double phi_a = potential_at(alg, ref, m, ta);
+    const double phi_b = potential_at(alg, ref, m, tb);
+    // Phi is linear inside the interval: exact derivative.
+    const double dphi = tb > ta ? (phi_b - phi_a) / (tb - ta) : 0.0;
+    const double mid = 0.5 * (t0 + t1);
+    const auto A = static_cast<double>(alg.alive_count_at(mid));
+    const auto OPT = static_cast<double>(ref.alive_count_at(mid));
+    ++rep.intervals;
+
+    // Discontinuous Changes: jump across t0.
+    if (have_prev) {
+      rep.max_jump_increase =
+          std::max(rep.max_jump_increase, phi_a - prev_right_phi);
+    }
+    prev_right_phi = phi_b;
+    have_prev = true;
+
+    const double lhs = A + dphi;
+    if (OPT > 0.0) {
+      rep.c_continuous = std::max(rep.c_continuous, lhs / OPT);
+      if (A >= static_cast<double>(m)) {
+        rep.c_lemma2 = std::max(rep.c_lemma2, dphi / (env2 * OPT));
+      } else {
+        rep.c_lemma3 = std::max(rep.c_lemma3, lhs / (env3 * OPT));
+      }
+    } else if (lhs > 1e-6 * std::max(1.0, A)) {
+      ++rep.opt_zero_violations;
+    }
+
+    // Decompose the derivative into the paper's inner lemmas (7, 8, 9).
+    const PotentialFlux flux = potential_flux_at(alg, ref, m, mid);
+    const double md = static_cast<double>(m);
+    // z_i may cross zero strictly inside the interval (not a breakpoint),
+    // so compare against a *local* two-point derivative at the midpoint
+    // rather than the interval-average slope.
+    const double dm = len * 1e-3;
+    const double dphi_mid = (potential_at(alg, ref, m, mid + dm) -
+                             potential_at(alg, ref, m, mid - dm)) /
+                            (2.0 * dm);
+    rep.decomposition_residual =
+        std::max(rep.decomposition_residual,
+                 std::fabs(dphi_mid - (flux.opt_side + flux.alg_side)) /
+                     std::max(1.0, std::fabs(dphi_mid)));
+    rep.c_lemma7 = std::max(rep.c_lemma7,
+                            flux.opt_side / (16.0 * (A + OPT + 1e-12)));
+    if (OPT > 0.0 && OPT <= md && alpha < 1.0) {
+      rep.c_lemma8 = std::max(
+          rep.c_lemma8, flux.opt_side / (16.0 * std::pow(md, alpha) *
+                                         std::pow(OPT, 1.0 - alpha)));
+    }
+    if (alpha < 1.0) {
+      const double logP = std::log2(std::max(P, 2.0));
+      const double opt_cap =
+          md / (4.0 * std::pow(4.0, 1.0 / (1.0 - alpha)));
+      // Lemma 9 bounds the decrease *due to the algorithm processing*;
+      // intervals where the ALG schedule processes nothing (possible only
+      // for non-work-conserving plan inputs, never for ISRPT) are outside
+      // its premise.
+      if (A >= md && A <= 10.0 * md * logP && OPT <= opt_cap &&
+          flux.alg_side < 0.0) {
+        ++rep.lemma9_intervals;
+        const double ratio = flux.alg_side / (-4.0 * md);
+        rep.lemma9_min_ratio = rep.lemma9_intervals == 1
+                                   ? ratio
+                                   : std::min(rep.lemma9_min_ratio, ratio);
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace parsched

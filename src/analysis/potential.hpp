@@ -1,0 +1,83 @@
+// parsched — empirical verification of the paper's potential function.
+//
+// Section 2.3 defines
+//
+//   Phi(t) = 16 * sum_{i in A(t)} z_i(t) / Γ_i(m / rank(i, t)),
+//
+// with z_i(t) = max(p_i^A(t) − p_i^OPT(t), 0) and rank(i,t) = min(m, number
+// of alive ALG jobs that arrived no later than i). The analysis rests on
+// three conditions (Boundary, Discontinuous Changes, Continuous Changes);
+// this module evaluates Phi exactly on the merged breakpoint grid of the
+// two schedules (Phi is piecewise linear, so two interior samples per
+// interval give the exact derivative) and reports how each condition fares,
+// including the empirical constants that Lemmas 2 and 3 bound.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/trajectories.hpp"
+
+namespace parsched {
+
+struct PotentialReport {
+  double phi_start = 0.0;  ///< Phi just after the first arrival
+  double phi_end = 0.0;    ///< Phi after the last completion
+  /// Largest increase of Phi across any breakpoint (arrivals/completions).
+  /// The Discontinuous Changes condition says this should be <= 0.
+  double max_jump_increase = 0.0;
+  /// max over intervals with |OPT(t)| > 0 of (|A| + dPhi/dt) / |OPT| —
+  /// the constant c of the Continuous Changes condition; Theorem 1 bounds
+  /// it by O(4^{1/(1-alpha)} log P).
+  double c_continuous = 0.0;
+  /// Lemma 2 normalization: max over *overloaded* intervals of
+  /// (dPhi/dt) / (4^{1/(1-alpha)} log2(P) * |OPT|).
+  double c_lemma2 = 0.0;
+  /// Lemma 3 normalization: max over *underloaded* intervals of
+  /// (|A| + dPhi/dt) / (2^{1/(1-alpha)} * |OPT|).
+  double c_lemma3 = 0.0;
+  /// Intervals where |OPT(t)| = 0 but |A| + dPhi/dt > tol (the condition
+  /// then requires the left side to be nonpositive).
+  std::size_t opt_zero_violations = 0;
+  std::size_t intervals = 0;
+
+  // --- decomposition of dPhi/dt into the paper's inner lemmas ---
+  /// Lemma 7: max over intervals of (OPT-side increase) / (16(|A|+|OPT|)).
+  double c_lemma7 = 0.0;
+  /// Lemma 8: max over intervals with |OPT| in (0, m] of
+  /// (OPT-side increase) / (16 m^alpha |OPT|^{1-alpha}).
+  double c_lemma8 = 0.0;
+  /// Lemma 9: min over qualifying intervals (m <= |A| <= 10 m log P and
+  /// |OPT| <= m/(4*4^{1/(1-alpha)})) of (ALG-side decrease) / (-4m);
+  /// the lemma asserts >= 1. 0 when no interval qualified.
+  double lemma9_min_ratio = 0.0;
+  std::size_t lemma9_intervals = 0;
+  /// max |dPhi/dt - (opt_side + alg_side)| over intervals, relative to
+  /// max(1, |dPhi/dt|): internal consistency of the decomposition.
+  double decomposition_residual = 0.0;
+};
+
+/// The two one-sided contributions to dPhi/dt at time t: the increase due
+/// to OPT processing its jobs and the (negative) change due to the
+/// algorithm processing its own. Exposed for tests.
+struct PotentialFlux {
+  double opt_side = 0.0;  ///< >= 0
+  double alg_side = 0.0;  ///< <= 0
+};
+
+[[nodiscard]] PotentialFlux potential_flux_at(const ScheduleTrajectories& alg,
+                                              const ScheduleTrajectories& ref,
+                                              int m, double t);
+
+/// Evaluate Phi for schedule `alg` against reference schedule `ref` (the
+/// OPT surrogate) on a system of m machines with size ratio P and
+/// parallelizability exponent alpha.
+[[nodiscard]] PotentialReport analyze_potential(
+    const ScheduleTrajectories& alg, const ScheduleTrajectories& ref, int m,
+    double P, double alpha);
+
+/// Direct evaluation of Phi(t) (exposed for unit tests).
+[[nodiscard]] double potential_at(const ScheduleTrajectories& alg,
+                                  const ScheduleTrajectories& ref, int m,
+                                  double t);
+
+}  // namespace parsched

@@ -1,0 +1,115 @@
+#include "analysis/trajectories.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace parsched {
+
+ScheduleTrajectories ScheduleTrajectories::from_recorder(
+    const TrajectoryRecorder& rec) {
+  ScheduleTrajectories out;
+  out.jobs_ = rec.trajectories();
+  return out;
+}
+
+ScheduleTrajectories ScheduleTrajectories::from_plan(const Instance& instance,
+                                                     const Plan& plan) {
+  // Group segments per job, replay them into piecewise-linear remaining.
+  std::map<JobId, std::vector<PlanSegment>> per_job;
+  for (const PlanSegment& s : plan.segments) per_job[s.job].push_back(s);
+
+  ScheduleTrajectories out;
+  for (const Job& job : instance.jobs()) {
+    if (!job.phases.empty()) {
+      throw std::invalid_argument(
+          "plan trajectories do not support multi-phase jobs");
+    }
+    JobTrajectory jt;
+    jt.job = job;
+    jt.remaining.append(job.release, job.size);
+    auto it = per_job.find(job.id);
+    if (it == per_job.end()) {
+      throw std::invalid_argument("plan misses job " + std::to_string(job.id));
+    }
+    auto& segs = it->second;
+    std::sort(segs.begin(), segs.end(),
+              [](const PlanSegment& a, const PlanSegment& b) {
+                return a.t0 < b.t0;
+              });
+    double work = 0.0;
+    for (const PlanSegment& s : segs) {
+      const double rate = job.curve.rate(s.share);
+      jt.remaining.append(s.t0, job.size - work);
+      const double seg_work = rate * (s.t1 - s.t0);
+      if (work + seg_work >= job.size - 1e-9 * std::max(1.0, job.size)) {
+        const double need = std::max(0.0, job.size - work);
+        const double t_done = s.t0 + (rate > 0.0 ? need / rate : 0.0);
+        jt.remaining.append(t_done, 0.0);
+        jt.completion = t_done;
+        work = job.size;
+        break;
+      }
+      work += seg_work;
+      jt.remaining.append(s.t1, job.size - work);
+    }
+    if (jt.completion == 0.0 && job.size > 0.0) {
+      throw std::invalid_argument("plan does not finish job " +
+                                  std::to_string(job.id));
+    }
+    out.jobs_.emplace(job.id, std::move(jt));
+  }
+  return out;
+}
+
+double ScheduleTrajectories::remaining_at(JobId id, double t) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return 0.0;
+  const JobTrajectory& jt = it->second;
+  if (t < jt.job.release) return jt.job.size;
+  if (t >= jt.completion) return 0.0;
+  return jt.remaining.value(t);
+}
+
+bool ScheduleTrajectories::alive_at(JobId id, double t) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const JobTrajectory& jt = it->second;
+  return t >= jt.job.release && t < jt.completion;
+}
+
+std::size_t ScheduleTrajectories::alive_count_at(double t) const {
+  std::size_t n = 0;
+  for (const auto& [id, jt] : jobs_) {
+    (void)jt;
+    if (alive_at(id, t)) ++n;
+  }
+  return n;
+}
+
+std::vector<double> ScheduleTrajectories::breakpoints() const {
+  std::vector<double> out;
+  for (const auto& [id, jt] : jobs_) {
+    (void)id;
+    out.insert(out.end(), jt.remaining.times().begin(),
+               jt.remaining.times().end());
+  }
+  std::sort(out.begin(), out.end());
+  std::vector<double> dedup;
+  for (double t : out) {
+    if (dedup.empty() || t - dedup.back() > 1e-12) dedup.push_back(t);
+  }
+  return dedup;
+}
+
+double ScheduleTrajectories::horizon() const {
+  double h = 0.0;
+  for (const auto& [id, jt] : jobs_) {
+    (void)id;
+    h = std::max(h, jt.completion);
+  }
+  return h;
+}
+
+}  // namespace parsched

@@ -1,0 +1,54 @@
+// parsched — schedule trajectories: the common currency of the verifiers.
+//
+// Both the potential-function analysis (Lemmas 2/3) and the
+// local-competitiveness analysis (Lemmas 1/4/5) compare the *state* of two
+// schedules over time, not just their final flows. A ScheduleTrajectories
+// holds every job's remaining-work curve for one schedule; it can be built
+// from a live simulation (TrajectoryRecorder) or from an explicit Plan.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sched/opt/plan.hpp"
+#include "simcore/instance.hpp"
+#include "simcore/trajectory.hpp"
+
+namespace parsched {
+
+class ScheduleTrajectories {
+ public:
+  ScheduleTrajectories() = default;
+
+  static ScheduleTrajectories from_recorder(const TrajectoryRecorder& rec);
+  static ScheduleTrajectories from_plan(const Instance& instance,
+                                        const Plan& plan);
+
+  [[nodiscard]] const std::unordered_map<JobId, JobTrajectory>& jobs() const {
+    return jobs_;
+  }
+
+  /// Remaining work of job `id` at time t: full size before release, 0
+  /// after completion.
+  [[nodiscard]] double remaining_at(JobId id, double t) const;
+
+  /// True when the job has been released but not completed at time t
+  /// (releases are inclusive, completions exclusive: a job completing at t
+  /// is no longer alive at t).
+  [[nodiscard]] bool alive_at(JobId id, double t) const;
+
+  /// Number of alive jobs at time t.
+  [[nodiscard]] std::size_t alive_count_at(double t) const;
+
+  /// Sorted, deduplicated union of all knot times (arrivals, decision
+  /// points, completions).
+  [[nodiscard]] std::vector<double> breakpoints() const;
+
+  /// Latest completion time.
+  [[nodiscard]] double horizon() const;
+
+ private:
+  std::unordered_map<JobId, JobTrajectory> jobs_;
+};
+
+}  // namespace parsched

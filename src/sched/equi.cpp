@@ -1,0 +1,72 @@
+#include "sched/equi.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace parsched {
+
+Allocation Equi::allocate(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.alive().size();
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  if (n == 0) return alloc;
+  const double share =
+      static_cast<double>(ctx.machines()) / static_cast<double>(n);
+  for (double& s : alloc.shares) s = share;
+  return alloc;
+}
+
+Laps::Laps(double beta) : beta_(beta) {
+  if (beta <= 0.0 || beta > 1.0) {
+    throw std::invalid_argument("LAPS beta must be in (0, 1]");
+  }
+}
+
+std::string Laps::name() const {
+  std::ostringstream os;
+  os << "LAPS(" << beta_ << ")";
+  return os.str();
+}
+
+OldestEqui::OldestEqui(double beta) : beta_(beta) {
+  if (beta <= 0.0 || beta > 1.0) {
+    throw std::invalid_argument("OldestEqui beta must be in (0, 1]");
+  }
+}
+
+std::string OldestEqui::name() const {
+  std::ostringstream os;
+  os << "Oldest-EQUI(" << beta_ << ")";
+  return os.str();
+}
+
+Allocation OldestEqui::allocate(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.alive().size();
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  if (n == 0) return alloc;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(beta_ * static_cast<double>(n)));
+  auto order = ctx.latest_arrivals(n);  // latest first
+  const double share =
+      static_cast<double>(ctx.machines()) / static_cast<double>(k);
+  // Serve the k OLDEST: the tail of the latest-first order.
+  for (std::size_t i = n - k; i < n; ++i) alloc.shares[order[i]] = share;
+  return alloc;
+}
+
+Allocation Laps::allocate(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.alive().size();
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  if (n == 0) return alloc;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(beta_ * static_cast<double>(n)));
+  const double share =
+      static_cast<double>(ctx.machines()) / static_cast<double>(k);
+  for (std::size_t i : ctx.latest_arrivals(k)) alloc.shares[i] = share;
+  return alloc;
+}
+
+}  // namespace parsched

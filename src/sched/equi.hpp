@@ -1,0 +1,49 @@
+// parsched — EQUI (equipartition / processor sharing) and LAPS.
+//
+// EQUI gives every alive job an m/|A(t)| share. Edmonds et al. [5] showed
+// it is 2-competitive for total flow time with arbitrary speedup curves
+// when all jobs arrive together (batch release); Edmonds [4] showed it is
+// (2+eps)-speed O(1)-competitive with arrivals.
+//
+// LAPS(beta) (Edmonds & Pruhs [6]) equipartitions among only the
+// ceil(beta*|A(t)|) latest-arriving jobs and is scalable
+// ((1+eps)-speed O(1)-competitive).
+#pragma once
+
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class Equi final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "EQUI"; }
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+};
+
+class Laps final : public Scheduler {
+ public:
+  /// beta in (0, 1]; beta = 1 degenerates to EQUI.
+  explicit Laps(double beta);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+
+ private:
+  double beta_;
+};
+
+/// LAPS's mirror image: equipartition among the ceil(beta*|A(t)|)
+/// *earliest*-arriving jobs. This is the natural policy for the MAXIMUM
+/// flow-time objective studied in [Pruhs–Robert–Schabanel] / [Robert–
+/// Schabanel] for arbitrary speedup curves: always push the oldest work.
+/// It trades average flow for bounded staleness (bench E14).
+class OldestEqui final : public Scheduler {
+ public:
+  explicit OldestEqui(double beta);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+
+ private:
+  double beta_;
+};
+
+}  // namespace parsched

@@ -1,0 +1,27 @@
+// parsched — Intermediate-SRPT, the paper's main contribution.
+//
+// "If there are at least m tasks, the m tasks with the least unprocessed
+//  work are each allocated one processor (this is like Sequential-SRPT).
+//  If there are strictly fewer than m tasks, the processors are evenly
+//  partitioned among the tasks (this is essentially Round Robin /
+//  Processor Sharing)."
+//
+// Theorem 1: for jobs of intermediate parallelizability this policy is
+// O(1) * 4^{1/(1-alpha)} * log P competitive for total flow time, where
+// alpha = max_j alpha_j — and by Theorem 2 this is optimal up to the
+// constant in front of log P.
+#pragma once
+
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class IntermediateSrpt final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "Intermediate-SRPT";
+  }
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+};
+
+}  // namespace parsched

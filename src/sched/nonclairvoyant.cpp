@@ -1,0 +1,103 @@
+#include "sched/nonclairvoyant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+namespace {
+
+/// Work this job has received so far — directly observable by a
+/// non-clairvoyant scheduler (it is the integral of its own decisions),
+/// and equal to size - remaining.
+double processed(const AliveJob& j) { return j.size - j.remaining; }
+
+/// MLF level: processed in [2^k - 1, 2^{k+1} - 1)  <=>  k = floor(log2(p+1)).
+int mlf_level(const AliveJob& j) {
+  return static_cast<int>(std::floor(std::log2(processed(j) + 1.0)));
+}
+
+}  // namespace
+
+Setf::Setf(double quantum) : quantum_(quantum) {
+  if (!(quantum > 0.0)) throw std::invalid_argument("quantum must be > 0");
+}
+
+std::string Setf::name() const {
+  std::ostringstream os;
+  os << "SETF(q=" << quantum_ << ")";
+  return os.str();
+}
+
+Allocation Setf::allocate(const SchedulerContext& ctx) {
+  const auto alive = ctx.alive();
+  const std::size_t n = alive.size();
+  const auto m = static_cast<std::size_t>(ctx.machines());
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  if (n == 0) return alloc;
+  if (n < m) {
+    const double share =
+        static_cast<double>(ctx.machines()) / static_cast<double>(n);
+    for (double& s : alloc.shares) s = share;
+    return alloc;
+  }
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(m),
+                   idx.end(), [&](std::size_t a, std::size_t b) {
+                     const double pa = processed(alive[a]);
+                     const double pb = processed(alive[b]);
+                     if (pa != pb) return pa < pb;
+                     return alive[a].arrival_seq < alive[b].arrival_seq;
+                   });
+  for (std::size_t k = 0; k < m; ++k) alloc.shares[idx[k]] = 1.0;
+  // Served jobs stop being the least-processed almost immediately; hold
+  // the decision for one quantum (the realizable form of SETF).
+  alloc.reconsider_at = ctx.time() + quantum_;
+  return alloc;
+}
+
+Allocation Mlf::allocate(const SchedulerContext& ctx) {
+  const auto alive = ctx.alive();
+  const std::size_t n = alive.size();
+  const auto m = static_cast<std::size_t>(ctx.machines());
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  if (n == 0) return alloc;
+  if (n < m) {
+    const double share =
+        static_cast<double>(ctx.machines()) / static_cast<double>(n);
+    for (double& s : alloc.shares) s = share;
+    return alloc;
+  }
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    const int la = mlf_level(alive[a]);
+    const int lb = mlf_level(alive[b]);
+    if (la != lb) return la < lb;
+    return alive[a].arrival_seq < alive[b].arrival_seq;
+  });
+  double horizon = kInf;
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t i = idx[k];
+    alloc.shares[i] = 1.0;
+    // A served job crosses into the next level when its processed work
+    // reaches 2^{level+1} - 1; rate at share 1 is Γ(1) = 1, so the
+    // crossing time is exact.
+    const double threshold =
+        std::exp2(mlf_level(alive[i]) + 1) - 1.0;
+    const double dt = threshold - processed(alive[i]);
+    if (dt > 1e-12) horizon = std::min(horizon, ctx.time() + dt);
+  }
+  alloc.reconsider_at = horizon;
+  return alloc;
+}
+
+}  // namespace parsched

@@ -1,0 +1,45 @@
+// parsched — non-clairvoyant policies: SETF and MLF.
+//
+// Intermediate-SRPT needs to know remaining work. The non-clairvoyant
+// literature the paper leans on ([4], [6]) only observes what has been
+// *done*. Two classics, adapted to malleable jobs:
+//
+//  * SETF — Shortest Elapsed (processed) Time First: serve the jobs that
+//    have received the least processing. Pure SETF degenerates into
+//    infinitesimal round-robin (served jobs immediately stop being the
+//    least-served), so the standard realizable form uses a quantum: the
+//    current least-processed set holds its allocation for q time units.
+//
+//  * MLF — Multi-Level Feedback: jobs sit in levels with geometrically
+//    doubling quanta (level k holds jobs with processed work in
+//    [2^k − 1, 2^{k+1} − 1)); the lowest-level jobs are served first, one
+//    processor each. Level-boundary crossings are exact engine events
+//    (the policy computes the earliest crossing under current rates), so
+//    MLF needs no quantum at all.
+//
+// Both treat processed work (job.size - remaining is not consulted;
+// processing is tracked from observed progress) as the only job state —
+// no remaining-work clairvoyance.
+#pragma once
+
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class Setf final : public Scheduler {
+ public:
+  explicit Setf(double quantum = 0.1);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+
+ private:
+  double quantum_;
+};
+
+class Mlf final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "MLF"; }
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+};
+
+}  // namespace parsched

@@ -1,0 +1,145 @@
+#include "sched/opt/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+InfeasiblePlan::InfeasiblePlan(const std::string& what)
+    : std::runtime_error("infeasible plan: " + what) {}
+
+namespace {
+
+std::string describe(const PlanSegment& s) {
+  std::ostringstream os;
+  os << "job " << s.job << " on [" << s.t0 << ", " << s.t1 << ") share "
+     << s.share;
+  return os.str();
+}
+
+}  // namespace
+
+SimResult execute_plan(const Instance& instance, const Plan& plan,
+                       double tol) {
+  std::map<JobId, const Job*> by_id;
+  for (const Job& j : instance.jobs()) {
+    if (!j.phases.empty()) {
+      throw InfeasiblePlan("plans do not support multi-phase jobs");
+    }
+    by_id[j.id] = &j;
+  }
+
+  std::map<JobId, std::vector<PlanSegment>> per_job;
+  for (const PlanSegment& s : plan.segments) {
+    if (!by_id.count(s.job)) {
+      throw InfeasiblePlan("segment for unknown " + describe(s));
+    }
+    if (s.t1 <= s.t0) throw InfeasiblePlan("empty segment " + describe(s));
+    if (s.share <= 0.0) throw InfeasiblePlan("zero share " + describe(s));
+    per_job[s.job].push_back(s);
+  }
+
+  SimResult result;
+  std::vector<PlanSegment> truncated;  // post-completion processing removed
+
+  for (auto& [id, segs] : per_job) {
+    const Job& job = *by_id.at(id);
+    std::sort(segs.begin(), segs.end(),
+              [](const PlanSegment& a, const PlanSegment& b) {
+                return a.t0 < b.t0;
+              });
+    double work = 0.0;
+    double completion = -1.0;
+    double frac_integral = 0.0;  // integral of remaining(t) from release
+    double prev_end = job.release;
+    for (const PlanSegment& s : segs) {
+      if (s.t0 < job.release - tol) {
+        throw InfeasiblePlan("segment before release: " + describe(s));
+      }
+      if (s.t0 < prev_end - tol) {
+        throw InfeasiblePlan("overlapping segments for job " +
+                             std::to_string(id));
+      }
+      // Idle gap before this segment: remaining constant.
+      frac_integral += (job.size - work) * std::max(0.0, s.t0 - prev_end);
+      const double rate = job.curve.rate(s.share);
+      const double seg_len = s.t1 - s.t0;
+      const double seg_work = rate * seg_len;
+      if (work + seg_work >= job.size - tol * std::max(1.0, job.size)) {
+        // Completes inside this segment.
+        const double need = std::max(0.0, job.size - work);
+        const double t_done = s.t0 + (rate > 0.0 ? need / rate : 0.0);
+        frac_integral +=
+            0.5 * ((job.size - work) + 0.0) * (t_done - s.t0);
+        completion = t_done;
+        truncated.push_back({s.job, s.t0, t_done, s.share});
+        work = job.size;
+        break;
+      }
+      const double before = job.size - work;
+      work += seg_work;
+      const double after = job.size - work;
+      frac_integral += 0.5 * (before + after) * seg_len;
+      truncated.push_back(s);
+      prev_end = s.t1;
+    }
+    if (completion < 0.0) {
+      std::ostringstream os;
+      os << "job " << id << " receives only " << work << " of " << job.size
+         << " units of work";
+      throw InfeasiblePlan(os.str());
+    }
+    JobRecord rec;
+    rec.job = job;
+    rec.completion = completion;
+    result.total_flow += rec.flow();
+    result.fractional_flow += frac_integral / job.size;
+    result.makespan = std::max(result.makespan, completion);
+    result.records.push_back(rec);
+  }
+
+  if (result.records.size() != instance.size()) {
+    throw InfeasiblePlan("some jobs have no segments");
+  }
+
+  // Machine-capacity sweep over the truncated segments.
+  std::vector<std::pair<double, double>> deltas;  // (time, +-share)
+  deltas.reserve(2 * truncated.size());
+  for (const PlanSegment& s : truncated) {
+    deltas.emplace_back(s.t0, s.share);
+    deltas.emplace_back(s.t1, -s.share);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  double usage = 0.0;
+  const double cap = static_cast<double>(instance.machines());
+  std::size_t i = 0;
+  while (i < deltas.size()) {
+    const double t = deltas[i].first;
+    // Apply all deltas at (approximately) the same instant, negatives
+    // first is unnecessary since sort puts -share before +share at equal t.
+    while (i < deltas.size() && deltas[i].first <= t + 1e-12) {
+      usage += deltas[i].second;
+      ++i;
+    }
+    if (usage > cap + tol * std::max(1.0, cap)) {
+      std::ostringstream os;
+      os << "machine overcommit at t=" << t << ": usage " << usage << " > m="
+         << cap;
+      throw InfeasiblePlan(os.str());
+    }
+  }
+
+  std::sort(result.records.begin(), result.records.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.completion < b.completion;
+            });
+  result.events = 2 * result.records.size();
+  return result;
+}
+
+}  // namespace parsched

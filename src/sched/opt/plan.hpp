@@ -1,0 +1,49 @@
+// parsched — explicit schedule plans.
+//
+// The paper's lower-bound proofs exhibit concrete feasible schedules (the
+// Lemma-10 "alternative algorithm" and the Section-4 "standard schedule")
+// and use their flow time as an upper bound on OPT. A Plan is exactly such
+// a schedule: a set of (job, interval, share) segments. The executor
+// verifies feasibility — at no instant may total allocated shares exceed m,
+// and every job must receive its full work after its release — and returns
+// the exact per-job completion times and total flow.
+#pragma once
+
+#include <vector>
+
+#include "simcore/instance.hpp"
+#include "simcore/result.hpp"
+
+namespace parsched {
+
+struct PlanSegment {
+  JobId job = kInvalidJob;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double share = 0.0;  ///< processors held throughout [t0, t1)
+};
+
+struct Plan {
+  std::vector<PlanSegment> segments;
+
+  void add(JobId job, double t0, double t1, double share) {
+    segments.push_back({job, t0, t1, share});
+  }
+};
+
+/// Thrown when a plan is infeasible (overcommits machines, schedules before
+/// release, or fails to finish a job).
+class InfeasiblePlan : public std::runtime_error {
+ public:
+  explicit InfeasiblePlan(const std::string& what);
+};
+
+/// Execute `plan` on `instance`. Completion of a job is the earliest time
+/// its accumulated work (at rate Γ_j(share) per segment) reaches its size;
+/// trailing over-allocation is allowed and ignored (the executor truncates
+/// each job's processing at completion before checking machine usage).
+/// `tol` controls both feasibility slack and work-completion slack.
+[[nodiscard]] SimResult execute_plan(const Instance& instance,
+                                     const Plan& plan, double tol = 1e-6);
+
+}  // namespace parsched

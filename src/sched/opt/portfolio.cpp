@@ -1,0 +1,51 @@
+#include "sched/opt/portfolio.hpp"
+
+#include <limits>
+
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+
+namespace parsched {
+
+PortfolioResult run_portfolio(
+    const Instance& instance,
+    const std::vector<std::pair<std::string, Plan>>& plans,
+    const std::vector<std::string>& policy_names) {
+  PortfolioResult out;
+  out.best_flow = std::numeric_limits<double>::infinity();
+
+  const std::vector<std::string> names =
+      policy_names.empty() ? standard_policy_names() : policy_names;
+  for (const std::string& name : names) {
+    auto sched = make_scheduler(name);
+    const SimResult r = simulate(instance, *sched);
+    out.flows[sched->name()] = r.total_flow;
+    if (r.total_flow < out.best_flow) {
+      out.best_flow = r.total_flow;
+      out.best_name = sched->name();
+    }
+  }
+  for (const auto& [name, plan] : plans) {
+    const SimResult r = execute_plan(instance, plan);
+    out.flows[name] = r.total_flow;
+    if (r.total_flow < out.best_flow) {
+      out.best_flow = r.total_flow;
+      out.best_name = name;
+    }
+  }
+  return out;
+}
+
+OptEstimate estimate_opt(
+    const Instance& instance,
+    const std::vector<std::pair<std::string, Plan>>& plans) {
+  OptEstimate est;
+  est.lower = opt_lower_bound(instance);
+  const PortfolioResult pf = run_portfolio(instance, plans);
+  est.upper = pf.best_flow;
+  est.upper_name = pf.best_name;
+  return est;
+}
+
+}  // namespace parsched

@@ -1,0 +1,46 @@
+// parsched — portfolio upper bound on OPT.
+//
+// Any feasible schedule's total flow upper-bounds the optimum, so the best
+// schedule found by running every policy in the registry (plus any
+// instance-specific handcrafted plans the caller passes in) is a valid —
+// and on the paper's adversarial instances, tight up to constants —
+// estimate of OPT from above.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/opt/plan.hpp"
+#include "simcore/instance.hpp"
+
+namespace parsched {
+
+struct PortfolioResult {
+  double best_flow = 0.0;
+  std::string best_name;
+  std::map<std::string, double> flows;  ///< total flow per policy/plan
+};
+
+/// Run every standard policy on `instance`; additionally execute each named
+/// plan in `plans`. Policies that throw (e.g. a plan found infeasible by
+/// the executor, which would be a bug in the caller's construction) are
+/// propagated, not swallowed.
+[[nodiscard]] PortfolioResult run_portfolio(
+    const Instance& instance,
+    const std::vector<std::pair<std::string, Plan>>& plans = {},
+    const std::vector<std::string>& policy_names = {});
+
+/// Sandwich estimate of OPT for competitive-ratio reporting.
+struct OptEstimate {
+  double lower = 0.0;       ///< provable lower bound (relaxations)
+  double upper = 0.0;       ///< best feasible schedule found
+  std::string upper_name;   ///< which schedule achieved `upper`
+};
+
+[[nodiscard]] OptEstimate estimate_opt(
+    const Instance& instance,
+    const std::vector<std::pair<std::string, Plan>>& plans = {});
+
+}  // namespace parsched

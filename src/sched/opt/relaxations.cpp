@@ -1,0 +1,80 @@
+#include "sched/opt/relaxations.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+double srpt_speed_m_lower_bound(const Instance& instance) {
+  // Preemptive SRPT on one machine of speed m. Jobs sorted by release.
+  const auto& jobs = instance.jobs();
+  const double speed = static_cast<double>(instance.machines());
+  // Multiset of remaining works of released, unfinished jobs.
+  std::multiset<double> remaining;
+  double total_flow = 0.0;
+  double now = 0.0;
+  std::size_t next = 0;
+  const std::size_t n = jobs.size();
+  while (next < n || !remaining.empty()) {
+    if (remaining.empty()) {
+      now = std::max(now, jobs[next].release);
+      remaining.insert(jobs[next].size);
+      ++next;
+      // absorb simultaneous releases
+      while (next < n && jobs[next].release <= now) {
+        remaining.insert(jobs[next].size);
+        ++next;
+      }
+      continue;
+    }
+    const double head = *remaining.begin();
+    const double t_finish = now + head / speed;
+    const double t_arrive = next < n ? jobs[next].release : kInf;
+    // Flow accrues for all alive jobs during [now, t_next].
+    if (t_finish <= t_arrive) {
+      total_flow += static_cast<double>(remaining.size()) * (t_finish - now);
+      now = t_finish;
+      remaining.erase(remaining.begin());
+    } else {
+      total_flow += static_cast<double>(remaining.size()) * (t_arrive - now);
+      const double processed = speed * (t_arrive - now);
+      remaining.erase(remaining.begin());
+      remaining.insert(head - processed);
+      now = t_arrive;
+      while (next < n && jobs[next].release <= now) {
+        remaining.insert(jobs[next].size);
+        ++next;
+      }
+    }
+  }
+  return total_flow;
+}
+
+double span_lower_bound(const Instance& instance) {
+  double total = 0.0;
+  const double m = static_cast<double>(instance.machines());
+  for (const Job& j : instance.jobs()) {
+    if (j.phases.empty()) {
+      total += j.size / j.curve.rate(m);
+    } else {
+      // Multi-phase: running alone on all m machines still has to run the
+      // phases in order, each at its own saturated rate.
+      for (const JobPhase& p : j.phases) {
+        total += p.work / p.curve.rate(m);
+      }
+    }
+  }
+  return total;
+}
+
+double opt_lower_bound(const Instance& instance) {
+  return std::max(srpt_speed_m_lower_bound(instance),
+                  span_lower_bound(instance));
+}
+
+}  // namespace parsched

@@ -1,0 +1,37 @@
+// parsched — provable lower bounds on the optimal total flow time.
+//
+// The paper compares against an abstract offline OPT, which is not
+// computable in general. We sandwich it:
+//
+//  * srpt_speed_m_lower_bound — replace every Γ_j by Γ'(x) = x (pointwise
+//    no smaller, since all curves satisfy Γ(x) <= x by concavity and
+//    Γ(1)=1). Any schedule only improves, so OPT of the relaxed instance
+//    lower-bounds the true OPT. With fully parallelizable jobs the m unit
+//    machines are equivalent to one speed-m machine, where preemptive SRPT
+//    is *exactly* optimal for total flow time.
+//
+//  * span_lower_bound — no job can finish faster than running alone on all
+//    m machines: F_j >= p_j / Γ_j(m).
+//
+//  * opt_lower_bound — the max of the two (both are valid bounds).
+//
+// Upper bounds on OPT come from feasible schedules: see portfolio.hpp and
+// plan.hpp.
+#pragma once
+
+#include "simcore/instance.hpp"
+
+namespace parsched {
+
+/// Total flow time of preemptive SRPT on a single machine of speed m
+/// (exactly optimal for the fully-parallel relaxation). Exact event-driven
+/// computation, O(n log n).
+[[nodiscard]] double srpt_speed_m_lower_bound(const Instance& instance);
+
+/// Sum over jobs of p_j / Γ_j(m).
+[[nodiscard]] double span_lower_bound(const Instance& instance);
+
+/// max of all implemented lower bounds.
+[[nodiscard]] double opt_lower_bound(const Instance& instance);
+
+}  // namespace parsched

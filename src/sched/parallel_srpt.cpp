@@ -1,0 +1,14 @@
+#include "sched/parallel_srpt.hpp"
+
+namespace parsched {
+
+Allocation ParallelSrpt::allocate(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.alive().size();
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  if (n == 0) return alloc;
+  alloc.shares[ctx.min_remaining()] = static_cast<double>(ctx.machines());
+  return alloc;
+}
+
+}  // namespace parsched

@@ -1,0 +1,20 @@
+// parsched — Parallel-SRPT.
+//
+// All m processors go to the single task with the least unprocessed work.
+// Optimal (competitive ratio 1) when every job is fully parallelizable:
+// the machine pool then behaves exactly like one speed-m processor, where
+// SRPT minimizes total flow time. For any alpha < 1 it can be badly
+// suboptimal — the ratio jumps to Theta(log P) the instant alpha < 1.
+#pragma once
+
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class ParallelSrpt final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Parallel-SRPT"; }
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+};
+
+}  // namespace parsched

@@ -1,0 +1,60 @@
+#include "sched/registry.hpp"
+
+#include <stdexcept>
+
+#include "sched/equi.hpp"
+#include "sched/greedy_hybrid.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/nonclairvoyant.hpp"
+#include "sched/parallel_srpt.hpp"
+#include "sched/sequential_srpt.hpp"
+#include "sched/variants.hpp"
+#include "sched/weighted.hpp"
+
+namespace parsched {
+
+namespace {
+
+/// Split "name:param" into name and optional numeric parameter.
+std::pair<std::string, double> split_param(const std::string& spec,
+                                           double fallback) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, fallback};
+  return {spec.substr(0, colon), std::stod(spec.substr(colon + 1))};
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& spec) {
+  if (spec == "isrpt") return std::make_unique<IntermediateSrpt>();
+  if (spec == "seq-srpt") return std::make_unique<SequentialSrpt>();
+  if (spec == "par-srpt") return std::make_unique<ParallelSrpt>();
+  if (spec == "greedy") return std::make_unique<GreedyHybrid>();
+  if (spec == "equi") return std::make_unique<Equi>();
+  if (spec == "isrpt-boost") return std::make_unique<IsrptBoostShortest>();
+  if (spec == "mlf") return std::make_unique<Mlf>();
+  if (spec == "wisrpt") return std::make_unique<WeightedIsrpt>();
+  const auto [name, param] = split_param(spec, -1.0);
+  if (name == "laps") {
+    return std::make_unique<Laps>(param > 0.0 ? param : 0.5);
+  }
+  if (name == "oldest-equi") {
+    return std::make_unique<OldestEqui>(param > 0.0 ? param : 0.5);
+  }
+  if (name == "setf") {
+    return std::make_unique<Setf>(param > 0.0 ? param : 0.1);
+  }
+  if (name == "isrpt-thresh") {
+    return std::make_unique<IsrptThreshold>(param > 0.0 ? param : 2.0);
+  }
+  if (name == "quantized-equi") {
+    return std::make_unique<QuantizedEqui>(param > 0.0 ? param : 0.25);
+  }
+  throw std::invalid_argument("unknown scheduler: " + spec);
+}
+
+std::vector<std::string> standard_policy_names() {
+  return {"isrpt", "seq-srpt", "par-srpt", "greedy", "equi", "laps:0.5"};
+}
+
+}  // namespace parsched

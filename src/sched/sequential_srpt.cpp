@@ -1,0 +1,18 @@
+#include "sched/sequential_srpt.hpp"
+
+#include <algorithm>
+
+namespace parsched {
+
+Allocation SequentialSrpt::allocate(const SchedulerContext& ctx) {
+  const std::size_t n = ctx.alive().size();
+  const auto m = static_cast<std::size_t>(ctx.machines());
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  for (std::size_t i : ctx.smallest_remaining(std::min(n, m))) {
+    alloc.shares[i] = 1.0;
+  }
+  return alloc;
+}
+
+}  // namespace parsched

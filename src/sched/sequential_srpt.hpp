@@ -1,0 +1,18 @@
+// parsched — Sequential-SRPT (Leonardi–Raz style).
+//
+// The up-to-m tasks with the least unprocessed work are each allocated one
+// processor. O(log P)-competitive for fully *sequential* jobs [10]; on
+// intermediate jobs it wastes the ability to parallelize when underloaded.
+#pragma once
+
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class SequentialSrpt final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Sequential-SRPT"; }
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+};
+
+}  // namespace parsched

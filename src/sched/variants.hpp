@@ -1,0 +1,54 @@
+// parsched — ablation variants of Intermediate-SRPT.
+//
+// These exist to empirically justify the design choices in the paper's
+// algorithm (bench E10):
+//  * IsrptThreshold(theta)    — switch to equipartition already when
+//                               |A(t)| < theta * m (paper: theta = 1);
+//  * IsrptBoostShortest       — underloaded: give every job one processor
+//                               and the *shortest* job all leftovers (the
+//                               "over-allocate to one job" mistake the
+//                               paper attributes to Greedy);
+//  * QuantizedEqui(q)         — EQUI emulated with whole processors via
+//                               round-robin time slices of length q (shows
+//                               the fractional-processor model is not
+//                               load-bearing).
+#pragma once
+
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class IsrptThreshold final : public Scheduler {
+ public:
+  /// theta >= 1: equipartition over all alive jobs whenever
+  /// |A(t)| < theta*m, sequential-SRPT mode otherwise. theta = 1 is
+  /// exactly Intermediate-SRPT.
+  explicit IsrptThreshold(double theta);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+
+ private:
+  double theta_;
+};
+
+class IsrptBoostShortest final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "ISRPT-BoostShortest";
+  }
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+};
+
+class QuantizedEqui final : public Scheduler {
+ public:
+  explicit QuantizedEqui(double quantum);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void reset() override { round_ = 0; }
+
+ private:
+  double quantum_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace parsched

@@ -1,0 +1,55 @@
+#include "sched/weighted.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace parsched {
+
+Allocation WeightedIsrpt::allocate(const SchedulerContext& ctx) {
+  const auto alive = ctx.alive();
+  const std::size_t n = alive.size();
+  const auto m = static_cast<std::size_t>(ctx.machines());
+  Allocation alloc;
+  alloc.shares.assign(n, 0.0);
+  if (n == 0) return alloc;
+  if (n < m) {
+    const double share =
+        static_cast<double>(ctx.machines()) / static_cast<double>(n);
+    for (double& s : alloc.shares) s = share;
+    return alloc;
+  }
+  // Select the m jobs with least remaining/weight (selection, not sort).
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  auto less = [&](std::size_t a, std::size_t b) {
+    const double da = alive[a].remaining / alive[a].weight;
+    const double db = alive[b].remaining / alive[b].weight;
+    if (da != db) return da < db;
+    if (alive[a].release != alive[b].release) {
+      return alive[a].release < alive[b].release;
+    }
+    return alive[a].id < alive[b].id;
+  };
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(m),
+                   idx.end(), less);
+  for (std::size_t k = 0; k < m; ++k) alloc.shares[idx[k]] = 1.0;
+  return alloc;
+}
+
+double weighted_span_lower_bound(const Instance& instance) {
+  double total = 0.0;
+  const double md = static_cast<double>(instance.machines());
+  for (const Job& j : instance.jobs()) {
+    double span = 0.0;
+    if (j.phases.empty()) {
+      span = j.size / j.curve.rate(md);
+    } else {
+      for (const JobPhase& p : j.phases) span += p.work / p.curve.rate(md);
+    }
+    total += j.weight * span;
+  }
+  return total;
+}
+
+}  // namespace parsched

@@ -1,0 +1,30 @@
+// parsched — weighted flow time: Weighted Intermediate-SRPT.
+//
+// The natural generalization of the paper's algorithm to the objective
+// sum_j w_j (C_j - r_j): where Intermediate-SRPT serves the m jobs with
+// least remaining work, WISRPT serves the m jobs with least *remaining
+// work per unit weight* (the preemptive analogue of weighted SPT /
+// highest-density-first); underloaded it equipartitions exactly like the
+// paper's algorithm. With unit weights it coincides with
+// Intermediate-SRPT decision-for-decision.
+#pragma once
+
+#include "simcore/instance.hpp"
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class WeightedIsrpt final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "Weighted-ISRPT";
+  }
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+};
+
+/// Provable lower bound on the optimal *weighted* flow time: each job
+/// needs at least p_j / Γ_j(m) time even alone on all machines, so
+/// OPT_w >= sum_j w_j p_j / Γ_j(m).
+[[nodiscard]] double weighted_span_lower_bound(const Instance& instance);
+
+}  // namespace parsched

@@ -1,0 +1,238 @@
+#include "simcore/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+namespace {
+
+std::string stall_message(double t) {
+  std::ostringstream os;
+  os << "simulation stalled at t=" << t
+     << ": alive jobs but zero rates and no future arrival or "
+        "reconsideration point";
+  return os.str();
+}
+
+}  // namespace
+
+SimulationStall::SimulationStall(double t)
+    : std::runtime_error(stall_message(t)) {}
+
+Engine::Engine(int machines, EngineConfig config)
+    : m_(machines), cfg_(config) {
+  if (machines < 1) throw std::invalid_argument("need at least one machine");
+  if (!(cfg_.speed > 0.0)) {
+    throw std::invalid_argument("engine speed must be positive");
+  }
+}
+
+void Engine::add_observer(Observer* obs) {
+  assert(obs != nullptr);
+  observers_.push_back(obs);
+}
+
+double Engine::remaining_tagged(JobTag::Class cls, int phase) const {
+  double total = 0.0;
+  for (const AliveJob& a : alive_) {
+    if (a.tag.cls == cls && (phase < 0 || a.tag.phase == phase)) {
+      total += a.remaining;
+    }
+  }
+  return total;
+}
+
+std::size_t Engine::alive_tagged(JobTag::Class cls, int phase) const {
+  std::size_t n = 0;
+  for (const AliveJob& a : alive_) {
+    if (a.tag.cls == cls && (phase < 0 || a.tag.phase == phase)) ++n;
+  }
+  return n;
+}
+
+void Engine::admit_pending(ArrivalSource& source, SimResult& result) {
+  for (;;) {
+    const double nt = source.next_time(*this);
+    if (!(nt <= now_ + cfg_.time_tol)) break;
+    std::vector<Job> jobs = source.take(nt, *this);
+    if (jobs.empty()) {
+      // Pure decision point: the source must make progress.
+      assert(source.next_time(*this) > nt);
+      continue;
+    }
+    for (Job& j : jobs) {
+      j.normalize_phases();
+      if (j.size <= 0.0) throw std::invalid_argument("nonpositive job size");
+      AliveJob a;
+      a.id = j.id;
+      a.release = j.release;
+      a.size = j.size;
+      a.remaining = j.size;
+      a.weight = j.weight;
+      a.curve = j.curve;
+      a.arrival_seq = arrival_seq_++;
+      a.tag = j.tag;
+      a.phases = j.phases;
+      a.phase = 0;
+      a.phase_remaining = j.phases.empty() ? j.size : j.phases[0].work;
+      alive_.push_back(std::move(a));
+      ++result.events;
+      for (Observer* obs : observers_) obs->on_arrival(now_, j);
+    }
+  }
+}
+
+SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
+  SimResult result;
+  sched.reset();
+  source.reset();
+  alive_.clear();
+  completed_.clear();
+  now_ = 0.0;
+  arrival_seq_ = 0;
+
+  // Start the clock at the first arrival.
+  {
+    const double first = source.next_time(*this);
+    if (first == kInf) return result;
+    now_ = std::max(0.0, first);
+  }
+  admit_pending(source, result);
+
+  std::uint64_t decisions = 0;
+  for (;;) {
+    if (alive_.empty()) {
+      const double nt = source.next_time(*this);
+      if (nt == kInf) break;  // all done
+      assert(nt >= now_ - cfg_.time_tol);
+      now_ = std::max(now_, nt);
+      admit_pending(source, result);
+      continue;
+    }
+
+    if (++decisions > cfg_.max_decisions) {
+      throw std::runtime_error("engine exceeded max_decisions guard");
+    }
+
+    SchedulerContext ctx(now_, m_, alive_);
+    Allocation alloc = sched.allocate(ctx);
+    if (alloc.shares.size() != alive_.size()) {
+      throw std::logic_error("allocation size mismatch from policy " +
+                             sched.name());
+    }
+    if (cfg_.validate_allocations) {
+      double sum = 0.0;
+      for (double s : alloc.shares) {
+        if (!(s >= 0.0)) {
+          throw std::logic_error("negative share from policy " + sched.name());
+        }
+        sum += s;
+      }
+      if (sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
+        throw std::logic_error("overcommitted shares from policy " +
+                               sched.name());
+      }
+    }
+    for (Observer* obs : observers_) {
+      obs->on_decision(now_, alive_, alloc.shares);
+    }
+
+    // Rates are constant until the next event.
+    double dt_complete = kInf;
+    std::vector<double> rates(alive_.size());
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      rates[i] = cfg_.speed * alive_[i].curve.rate(alloc.shares[i]);
+      if (rates[i] > 0.0) {
+        // The end of the current *phase* is the next per-job event (for a
+        // single-phase job that is its completion).
+        dt_complete =
+            std::min(dt_complete, alive_[i].phase_remaining / rates[i]);
+      }
+    }
+    const double t_arrive = source.next_time(*this);
+    if (alloc.reconsider_at != kInf && alloc.reconsider_at <= now_) {
+      throw std::logic_error("policy " + sched.name() +
+                             " requested reconsideration in the past");
+    }
+    double dt = dt_complete;
+    dt = std::min(dt, t_arrive - now_);
+    dt = std::min(dt, alloc.reconsider_at - now_);
+    if (dt == kInf) throw SimulationStall(now_);
+    dt = std::max(dt, 0.0);
+
+    // Advance remaining work and the fractional-flow integral.
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      const double before = alive_[i].remaining;
+      const double after =
+          std::max(0.0, before - rates[i] * dt);
+      result.fractional_flow +=
+          0.5 * (before + after) / alive_[i].size * dt;
+      alive_[i].remaining = after;
+      alive_[i].phase_remaining =
+          std::max(0.0, alive_[i].phase_remaining - rates[i] * dt);
+    }
+    now_ += dt;
+
+    // Multi-phase jobs whose current phase drained move to the next phase
+    // (and expose its speedup curve to the policy from now on).
+    for (AliveJob& a : alive_) {
+      while (!a.phases.empty() && a.phase + 1 < a.phases.size() &&
+             a.phase_remaining <=
+                 cfg_.completion_tol * std::max(1.0, a.size)) {
+        ++a.phase;
+        a.phase_remaining = a.phases[a.phase].work;
+        a.curve = a.phases[a.phase].curve;
+      }
+    }
+
+    // Handle completions (anything within tolerance of zero).
+    for (std::size_t i = 0; i < alive_.size();) {
+      AliveJob& a = alive_[i];
+      if (a.remaining <= cfg_.completion_tol * std::max(1.0, a.size)) {
+        JobRecord rec;
+        rec.job.id = a.id;
+        rec.job.release = a.release;
+        rec.job.size = a.size;
+        rec.job.weight = a.weight;
+        rec.job.curve = a.phases.empty() ? a.curve : a.phases.front().curve;
+        rec.job.tag = a.tag;
+        rec.job.phases = std::move(a.phases);
+        rec.completion = now_;
+        result.total_flow += rec.flow();
+        result.weighted_flow += a.weight * rec.flow();
+        result.makespan = std::max(result.makespan, now_);
+        completed_.insert(a.id);
+        ++result.events;
+        for (Observer* obs : observers_) obs->on_completion(now_, rec.job);
+        result.records.push_back(std::move(rec));
+        alive_[i] = alive_.back();
+        alive_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    admit_pending(source, result);
+  }
+
+  result.decisions = decisions;
+  for (Observer* obs : observers_) obs->on_done(now_);
+  return result;
+}
+
+SimResult simulate(const Instance& instance, Scheduler& sched,
+                   const EngineConfig& config,
+                   const std::vector<Observer*>& observers) {
+  Engine engine(instance.machines(), config);
+  for (Observer* obs : observers) engine.add_observer(obs);
+  VectorSource source(instance.jobs());
+  return engine.run(sched, source);
+}
+
+}  // namespace parsched

@@ -1,0 +1,45 @@
+// parsched — an immutable scheduling instance.
+#pragma once
+
+#include <vector>
+
+#include "simcore/job.hpp"
+
+namespace parsched {
+
+/// A fixed (non-adaptive) scheduling instance: m identical unit-speed
+/// processors and a set of jobs. Construction sorts jobs by release time
+/// (ties broken by id), assigns missing ids, and validates the paper's
+/// standing assumptions (sizes >= some minimum, nonnegative releases).
+class Instance {
+ public:
+  Instance(int machines, std::vector<Job> jobs);
+
+  [[nodiscard]] int machines() const { return m_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// Max job size over min job size — the paper's parameter P
+  /// (with the normalization min size = 1, simply the max size).
+  [[nodiscard]] double P() const { return p_ratio_; }
+
+  [[nodiscard]] double min_size() const { return min_size_; }
+  [[nodiscard]] double max_size() const { return max_size_; }
+  [[nodiscard]] double total_work() const { return total_work_; }
+  [[nodiscard]] double last_release() const { return last_release_; }
+
+  /// Largest alpha over the jobs' speedup curves (Theorem 1's alpha).
+  [[nodiscard]] double max_alpha() const { return max_alpha_; }
+
+ private:
+  int m_;
+  std::vector<Job> jobs_;
+  double p_ratio_ = 1.0;
+  double min_size_ = 1.0;
+  double max_size_ = 1.0;
+  double total_work_ = 0.0;
+  double last_release_ = 0.0;
+  double max_alpha_ = 0.0;
+};
+
+}  // namespace parsched

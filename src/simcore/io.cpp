@@ -1,0 +1,207 @@
+#include "simcore/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace parsched {
+
+namespace {
+
+void write_curve(std::ostream& os, const SpeedupCurve& c) {
+  switch (c.kind()) {
+    case SpeedupCurve::Kind::kFullyParallel:
+      os << "par";
+      break;
+    case SpeedupCurve::Kind::kSequential:
+      os << "seq";
+      break;
+    case SpeedupCurve::Kind::kPowerLaw:
+      os << "pow " << std::setprecision(17) << c.alpha();
+      break;
+    case SpeedupCurve::Kind::kPiecewiseLinear: {
+      const auto& knots = c.knots();
+      os << "pwl " << knots.size();
+      for (const auto& [x, y] : knots) {
+        os << ' ' << std::setprecision(17) << x << ' ' << y;
+      }
+      break;
+    }
+  }
+}
+
+class TokenReader {
+ public:
+  explicit TokenReader(std::istream& is) : is_(is) {}
+
+  /// Next meaningful line split into tokens; false at EOF.
+  bool next_line(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream ss(line);
+      tokens.clear();
+      std::string tok;
+      while (ss >> tok) tokens.push_back(tok);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("instance parse error at line " +
+                             std::to_string(line_no_) + ": " + what);
+  }
+
+ private:
+  std::istream& is_;
+  int line_no_ = 0;
+};
+
+double parse_double(TokenReader& r, const std::vector<std::string>& toks,
+                    std::size_t i, const char* what) {
+  if (i >= toks.size()) r.fail(std::string("missing ") + what);
+  try {
+    return std::stod(toks[i]);
+  } catch (const std::exception&) {
+    r.fail(std::string("bad ") + what + ": " + toks[i]);
+  }
+}
+
+/// Parse a curve starting at toks[i]; advances i past it.
+SpeedupCurve parse_curve(TokenReader& r, const std::vector<std::string>& toks,
+                         std::size_t& i) {
+  if (i >= toks.size()) r.fail("missing curve");
+  const std::string kind = toks[i++];
+  if (kind == "par") return SpeedupCurve::fully_parallel();
+  if (kind == "seq") return SpeedupCurve::sequential();
+  if (kind == "pow") {
+    const double a = parse_double(r, toks, i++, "alpha");
+    return SpeedupCurve::power_law(a);
+  }
+  if (kind == "pwl") {
+    const auto n = static_cast<std::size_t>(
+        parse_double(r, toks, i++, "pwl knot count"));
+    std::vector<std::pair<double, double>> knots;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = parse_double(r, toks, i++, "pwl knot x");
+      const double y = parse_double(r, toks, i++, "pwl knot y");
+      knots.emplace_back(x, y);
+    }
+    return SpeedupCurve::piecewise_linear(std::move(knots));
+  }
+  r.fail("unknown curve kind: " + kind);
+}
+
+JobTag::Class parse_class(TokenReader& r, const std::string& s) {
+  if (s == "none") return JobTag::Class::kNone;
+  if (s == "long") return JobTag::Class::kLong;
+  if (s == "short") return JobTag::Class::kShort;
+  if (s == "stream") return JobTag::Class::kStream;
+  r.fail("unknown tag class: " + s);
+}
+
+}  // namespace
+
+void write_instance(std::ostream& os, const Instance& instance) {
+  os << "parsched-instance 1\n";
+  os << "machines " << instance.machines() << "\n";
+  os << std::setprecision(17);
+  for (const Job& j : instance.jobs()) {
+    os << "job " << j.id << ' ' << j.release << ' ';
+    if (j.phases.empty()) {
+      os << "size " << j.size << ' ';
+      write_curve(os, j.curve);
+    } else {
+      os << "phases " << j.phases.size();
+      for (const JobPhase& p : j.phases) {
+        os << ' ' << p.work << ' ';
+        write_curve(os, p.curve);
+      }
+    }
+    if (j.weight != 1.0) os << " w " << j.weight;
+    if (j.tag.cls != JobTag::Class::kNone || j.tag.phase >= 0) {
+      os << " tag " << j.tag.phase << ' ' << to_string(j.tag.cls) << ' '
+         << j.tag.index;
+    }
+    os << '\n';
+  }
+}
+
+void write_instance_file(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_instance(out, instance);
+}
+
+Instance read_instance(std::istream& is) {
+  TokenReader reader(is);
+  std::vector<std::string> toks;
+
+  if (!reader.next_line(toks) || toks.size() != 2 ||
+      toks[0] != "parsched-instance" || toks[1] != "1") {
+    reader.fail("expected header 'parsched-instance 1'");
+  }
+  if (!reader.next_line(toks) || toks.size() != 2 || toks[0] != "machines") {
+    reader.fail("expected 'machines <m>'");
+  }
+  const int machines = static_cast<int>(
+      parse_double(reader, toks, 1, "machine count"));
+
+  std::vector<Job> jobs;
+  while (reader.next_line(toks)) {
+    if (toks[0] != "job") reader.fail("expected 'job ...': " + toks[0]);
+    Job j;
+    std::size_t i = 1;
+    j.id = static_cast<JobId>(parse_double(reader, toks, i++, "job id"));
+    j.release = parse_double(reader, toks, i++, "release");
+    if (i >= toks.size()) reader.fail("truncated job line");
+    const std::string mode = toks[i++];
+    if (mode == "size") {
+      j.size = parse_double(reader, toks, i++, "size");
+      j.curve = parse_curve(reader, toks, i);
+    } else if (mode == "phases") {
+      const auto k = static_cast<std::size_t>(
+          parse_double(reader, toks, i++, "phase count"));
+      for (std::size_t p = 0; p < k; ++p) {
+        JobPhase phase;
+        phase.work = parse_double(reader, toks, i++, "phase work");
+        phase.curve = parse_curve(reader, toks, i);
+        j.phases.push_back(std::move(phase));
+      }
+      j.normalize_phases();
+    } else {
+      reader.fail("expected 'size' or 'phases', got " + mode);
+    }
+    if (i < toks.size() && toks[i] == "w") {
+      ++i;
+      j.weight = parse_double(reader, toks, i++, "weight");
+    }
+    if (i < toks.size()) {
+      if (toks[i] != "tag") reader.fail("unexpected trailing: " + toks[i]);
+      ++i;
+      j.tag.phase = static_cast<int>(
+          parse_double(reader, toks, i++, "tag phase"));
+      if (i >= toks.size()) reader.fail("truncated tag");
+      j.tag.cls = parse_class(reader, toks[i++]);
+      j.tag.index = static_cast<std::int64_t>(
+          parse_double(reader, toks, i++, "tag index"));
+    }
+    if (i != toks.size()) reader.fail("unexpected trailing tokens");
+    jobs.push_back(std::move(j));
+  }
+  if (jobs.empty()) reader.fail("instance has no jobs");
+  return Instance(machines, std::move(jobs));
+}
+
+Instance read_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_instance(in);
+}
+
+}  // namespace parsched

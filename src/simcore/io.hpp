@@ -1,0 +1,35 @@
+// parsched — instance (de)serialization.
+//
+// A line-oriented text format so instances — including the *realized*
+// instances produced by the adaptive adversary — can be saved, diffed,
+// shipped in bug reports and replayed bit-exactly:
+//
+//   parsched-instance 1
+//   machines 8
+//   job 0 0.0 size 64 pow 0.25 tag 0 long 0
+//   job 1 0.0 size 1 pow 0.25 tag 0 short 0
+//   job 2 3.5 phases 2 4 par 2 seq
+//
+// Grammar per job line:
+//   job <id> <release> size <work> <curve> [w <weight>]
+//                                          [tag <phase> <class> <index>]
+//   job <id> <release> phases <k> (<work> <curve>){k} [w ...] [tag ...]
+// with <curve> one of: par | seq | pow <alpha> | pwl <n> (<x> <y>){n}.
+// '#' starts a comment; blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "simcore/instance.hpp"
+
+namespace parsched {
+
+void write_instance(std::ostream& os, const Instance& instance);
+void write_instance_file(const std::string& path, const Instance& instance);
+
+/// Throws std::runtime_error with a line number on malformed input.
+[[nodiscard]] Instance read_instance(std::istream& is);
+[[nodiscard]] Instance read_instance_file(const std::string& path);
+
+}  // namespace parsched

@@ -1,0 +1,41 @@
+// parsched — simulation observers.
+//
+// Observers get read-only callbacks at every decision point and event.
+// They power the analysis layer (trajectories, alive-count tracking,
+// potential-function evaluation) without the engine knowing about any of it.
+#pragma once
+
+#include <span>
+
+#include "simcore/job.hpp"
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// A decision point: `alive` and the `shares` chosen for them (parallel
+  /// arrays). Fired after arrivals/completions at this time were handled.
+  virtual void on_decision(double t, std::span<const AliveJob> alive,
+                           std::span<const double> shares) {
+    (void)t;
+    (void)alive;
+    (void)shares;
+  }
+
+  virtual void on_arrival(double t, const Job& job) {
+    (void)t;
+    (void)job;
+  }
+
+  virtual void on_completion(double t, const Job& job) {
+    (void)t;
+    (void)job;
+  }
+
+  virtual void on_done(double t) { (void)t; }
+};
+
+}  // namespace parsched

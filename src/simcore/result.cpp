@@ -1,0 +1,41 @@
+#include "simcore/result.hpp"
+
+#include <algorithm>
+
+namespace parsched {
+
+double SimResult::max_flow() const {
+  double mx = 0.0;
+  for (const auto& r : records) mx = std::max(mx, r.flow());
+  return mx;
+}
+
+double SimResult::flow_tagged(JobTag::Class cls, int phase) const {
+  double total = 0.0;
+  for (const auto& r : records) {
+    if (r.job.tag.cls == cls && (phase < 0 || r.job.tag.phase == phase)) {
+      total += r.flow();
+    }
+  }
+  return total;
+}
+
+std::size_t SimResult::count_tagged(JobTag::Class cls, int phase) const {
+  std::size_t n = 0;
+  for (const auto& r : records) {
+    if (r.job.tag.cls == cls && (phase < 0 || r.job.tag.phase == phase)) ++n;
+  }
+  return n;
+}
+
+std::vector<Job> SimResult::realized_jobs() const {
+  std::vector<Job> jobs;
+  jobs.reserve(records.size());
+  for (const auto& r : records) jobs.push_back(r.job);
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.release < b.release;
+  });
+  return jobs;
+}
+
+}  // namespace parsched

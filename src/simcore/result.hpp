@@ -1,0 +1,46 @@
+// parsched — simulation results and flow-time accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/job.hpp"
+
+namespace parsched {
+
+/// Per-job outcome.
+struct JobRecord {
+  Job job;
+  double completion = 0.0;
+  [[nodiscard]] double flow() const { return completion - job.release; }
+};
+
+/// Outcome of one simulation run.
+struct SimResult {
+  std::vector<JobRecord> records;  ///< in completion order
+  double total_flow = 0.0;
+  double weighted_flow = 0.0;  ///< sum of w_j * F_j (== total_flow when
+                               ///< all weights are 1)
+  double fractional_flow = 0.0;  ///< integral of sum_j p_j(t)/p_j dt
+  double makespan = 0.0;         ///< last completion time
+  std::uint64_t decisions = 0;   ///< number of decision points
+  std::uint64_t events = 0;      ///< arrivals + completions + reconsiders
+
+  [[nodiscard]] std::size_t jobs() const { return records.size(); }
+  [[nodiscard]] double avg_flow() const {
+    return records.empty() ? 0.0
+                           : total_flow / static_cast<double>(records.size());
+  }
+  [[nodiscard]] double max_flow() const;
+
+  /// Total flow restricted to a tag class (phase = -1 matches any phase).
+  [[nodiscard]] double flow_tagged(JobTag::Class cls, int phase = -1) const;
+  [[nodiscard]] std::size_t count_tagged(JobTag::Class cls,
+                                         int phase = -1) const;
+
+  /// All released jobs (the realized instance; for adaptive sources this is
+  /// only known after the run). Sorted by release time.
+  [[nodiscard]] std::vector<Job> realized_jobs() const;
+};
+
+}  // namespace parsched

@@ -1,0 +1,90 @@
+#include "simcore/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace parsched {
+
+namespace {
+
+/// (remaining, release, id) lexicographic SRPT order.
+struct SrptLess {
+  std::span<const AliveJob> alive;
+  bool operator()(std::size_t a, std::size_t b) const {
+    const AliveJob& ja = alive[a];
+    const AliveJob& jb = alive[b];
+    if (ja.remaining != jb.remaining) return ja.remaining < jb.remaining;
+    if (ja.release != jb.release) return ja.release < jb.release;
+    return ja.id < jb.id;
+  }
+};
+
+/// (release, id) descending: latest arrival first.
+struct LatestLess {
+  std::span<const AliveJob> alive;
+  bool operator()(std::size_t a, std::size_t b) const {
+    const AliveJob& ja = alive[a];
+    const AliveJob& jb = alive[b];
+    if (ja.release != jb.release) return ja.release > jb.release;
+    return ja.id > jb.id;
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> SchedulerContext::by_remaining() const {
+  std::vector<std::size_t> idx(alive_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(), SrptLess{alive_});
+  return idx;
+}
+
+std::vector<std::size_t> SchedulerContext::smallest_remaining(
+    std::size_t k) const {
+  std::vector<std::size_t> idx(alive_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  if (k >= idx.size()) {
+    std::sort(idx.begin(), idx.end(), SrptLess{alive_});
+    return idx;
+  }
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                   idx.end(), SrptLess{alive_});
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end(), SrptLess{alive_});
+  return idx;
+}
+
+std::size_t SchedulerContext::min_remaining() const {
+  assert(!alive_.empty());
+  std::size_t best = 0;
+  const SrptLess less{alive_};
+  for (std::size_t i = 1; i < alive_.size(); ++i) {
+    if (less(i, best)) best = i;
+  }
+  return best;
+}
+
+std::vector<std::size_t> SchedulerContext::by_latest_arrival() const {
+  std::vector<std::size_t> idx(alive_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(), LatestLess{alive_});
+  return idx;
+}
+
+std::vector<std::size_t> SchedulerContext::latest_arrivals(
+    std::size_t k) const {
+  std::vector<std::size_t> idx(alive_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  if (k >= idx.size()) {
+    std::sort(idx.begin(), idx.end(), LatestLess{alive_});
+    return idx;
+  }
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                   idx.end(), LatestLess{alive_});
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end(), LatestLess{alive_});
+  return idx;
+}
+
+}  // namespace parsched

@@ -1,0 +1,102 @@
+// parsched — the online scheduling policy interface.
+//
+// A policy is invoked at every decision point (arrival, completion, or a
+// time the policy itself requested) and returns a fractional processor
+// allocation over the currently alive jobs. Between decision points all
+// rates are constant, which is what lets the engine advance with exact
+// event times instead of a fixed timestep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simcore/job.hpp"
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+/// One alive job as seen by a policy. Policies are non-clairvoyant about
+/// the future but clairvoyant about remaining work, matching the paper's
+/// SRPT-style algorithms (`original size` is also visible; the natural
+/// greedy of Section 3 uses remaining work only).
+struct AliveJob {
+  JobId id = kInvalidJob;
+  double release = 0.0;
+  double size = 0.0;       ///< original work p_j
+  double remaining = 0.0;  ///< unprocessed work p_j(t), across all phases
+  double weight = 1.0;     ///< weight w_j of the weighted-flow objective
+  /// Speedup curve of the *current* phase (the whole curve for
+  /// single-phase jobs). This is what the job responds to right now.
+  SpeedupCurve curve;
+  std::int64_t arrival_seq = 0;  ///< global arrival ordinal (0-based)
+  JobTag tag;  ///< workload metadata; online policies must not read this
+
+  // Multi-phase bookkeeping (engine-internal; non-clairvoyant policies
+  // must not read these — they reveal the future phase structure).
+  std::vector<JobPhase> phases;
+  std::size_t phase = 0;
+  double phase_remaining = 0.0;
+};
+
+/// What a policy sees at a decision point.
+class SchedulerContext {
+ public:
+  SchedulerContext(double time, int machines,
+                   std::span<const AliveJob> alive)
+      : time_(time), machines_(machines), alive_(alive) {}
+
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] int machines() const { return machines_; }
+  [[nodiscard]] std::span<const AliveJob> alive() const { return alive_; }
+
+  /// Indices into alive() sorted by (remaining, release, id): SRPT order.
+  [[nodiscard]] std::vector<std::size_t> by_remaining() const;
+
+  /// Indices of the k jobs with least remaining work (SRPT order among
+  /// them). O(n + k log k) via selection — policies that only need the
+  /// head of the SRPT order (all of them, in practice) should use this
+  /// instead of by_remaining().
+  [[nodiscard]] std::vector<std::size_t> smallest_remaining(
+      std::size_t k) const;
+
+  /// Index of the single job with least remaining work. O(n).
+  [[nodiscard]] std::size_t min_remaining() const;
+
+  /// Indices into alive() sorted by (release, id) descending: latest first
+  /// (used by LAPS).
+  [[nodiscard]] std::vector<std::size_t> by_latest_arrival() const;
+
+  /// Indices of the k latest-arriving jobs. O(n + k log k).
+  [[nodiscard]] std::vector<std::size_t> latest_arrivals(std::size_t k) const;
+
+ private:
+  double time_;
+  int machines_;
+  std::span<const AliveJob> alive_;
+};
+
+/// A policy's answer: `shares[i]` processors for `ctx.alive()[i]`
+/// (fractional, nonnegative, summing to at most m), plus an optional
+/// absolute time by which the policy wants to be re-invoked even if no
+/// arrival/completion happens (e.g. Greedy's priority-crossing times).
+struct Allocation {
+  std::vector<double> shares;
+  double reconsider_at = kInf;
+};
+
+/// Online scheduling policy. Implementations must be deterministic
+/// functions of the context (plus internal state updated at decision
+/// points) so simulations are reproducible.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Allocation allocate(const SchedulerContext& ctx) = 0;
+
+  /// Called once before a simulation run; default resets nothing.
+  virtual void reset() {}
+};
+
+}  // namespace parsched

@@ -1,0 +1,31 @@
+#include "simcore/source.hpp"
+
+#include <algorithm>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+VectorSource::VectorSource(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.release < b.release;
+                   });
+}
+
+double VectorSource::next_time(const EngineView& view) {
+  (void)view;
+  return next_ < jobs_.size() ? jobs_[next_].release : kInf;
+}
+
+std::vector<Job> VectorSource::take(double t, const EngineView& view) {
+  (void)view;
+  std::vector<Job> out;
+  while (next_ < jobs_.size() && jobs_[next_].release <= t) {
+    out.push_back(jobs_[next_]);
+    ++next_;
+  }
+  return out;
+}
+
+}  // namespace parsched

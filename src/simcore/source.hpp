@@ -1,0 +1,72 @@
+// parsched — arrival sources.
+//
+// The engine pulls arrivals from an ArrivalSource. A VectorSource replays a
+// fixed Instance; an adaptive source (e.g. the Section-4 adversary in
+// src/workload/adversary.*) may decide what to release next as a function
+// of the observed engine state, which is exactly the power the paper's
+// lower-bound adversary has.
+#pragma once
+
+#include <vector>
+
+#include "simcore/job.hpp"
+
+namespace parsched {
+
+/// Read-only view of the running engine, offered to adaptive sources.
+/// (Defined by the engine; sources only see the interface.)
+class EngineView {
+ public:
+  virtual ~EngineView() = default;
+
+  [[nodiscard]] virtual double time() const = 0;
+  [[nodiscard]] virtual int machines() const = 0;
+  [[nodiscard]] virtual std::size_t alive_count() const = 0;
+
+  /// Total remaining work of alive jobs with the given tag class and phase
+  /// (phase = -1 matches any phase).
+  [[nodiscard]] virtual double remaining_tagged(JobTag::Class cls,
+                                                int phase) const = 0;
+
+  /// Number of alive jobs with the given tag class and phase.
+  [[nodiscard]] virtual std::size_t alive_tagged(JobTag::Class cls,
+                                                 int phase) const = 0;
+
+  /// True once the job has been completed by the running schedule. Used
+  /// by precedence-constrained sources to release successors.
+  [[nodiscard]] virtual bool is_completed(JobId id) const = 0;
+};
+
+/// Stream of job arrivals, possibly adaptive.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  /// Time of the next arrival or decision point, or kInf when exhausted.
+  /// Must be >= the engine's current time.
+  [[nodiscard]] virtual double next_time(const EngineView& view) = 0;
+
+  /// Release the jobs arriving at exactly time t (which equals the last
+  /// next_time()). May return an empty vector (pure decision point), but
+  /// then the subsequent next_time() must be strictly greater than t.
+  virtual std::vector<Job> take(double t, const EngineView& view) = 0;
+
+  /// Restart from the beginning (for reuse across runs).
+  virtual void reset() = 0;
+};
+
+/// Replays a fixed, release-sorted list of jobs.
+class VectorSource final : public ArrivalSource {
+ public:
+  explicit VectorSource(std::vector<Job> jobs);
+
+  [[nodiscard]] double next_time(const EngineView& view) override;
+  std::vector<Job> take(double t, const EngineView& view) override;
+  void reset() override { next_ = 0; }
+
+ private:
+  std::vector<Job> jobs_;  // sorted by release
+  std::size_t next_ = 0;
+};
+
+}  // namespace parsched

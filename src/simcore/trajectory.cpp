@@ -1,0 +1,71 @@
+#include "simcore/trajectory.hpp"
+
+#include <cassert>
+
+namespace parsched {
+
+void TrajectoryRecorder::on_arrival(double t, const Job& job) {
+  auto [it, inserted] = traj_.try_emplace(job.id);
+  assert(inserted && "duplicate arrival for job id");
+  it->second.job = job;
+  it->second.remaining.append(t, job.size);
+}
+
+void TrajectoryRecorder::on_decision(double t, std::span<const AliveJob> alive,
+                                     std::span<const double> shares) {
+  (void)shares;
+  for (const AliveJob& a : alive) {
+    auto it = traj_.find(a.id);
+    assert(it != traj_.end());
+    it->second.remaining.append(t, a.remaining);
+  }
+}
+
+void TrajectoryRecorder::on_completion(double t, const Job& job) {
+  auto it = traj_.find(job.id);
+  assert(it != traj_.end());
+  it->second.remaining.append(t, 0.0);
+  it->second.completion = t;
+}
+
+void TrajectoryRecorder::on_done(double t) { (void)t; }
+
+double TrajectoryRecorder::remaining_at(JobId id, double t) const {
+  const auto it = traj_.find(id);
+  if (it == traj_.end()) return 0.0;
+  const JobTrajectory& jt = it->second;
+  if (t < jt.job.release) return jt.job.size;
+  if (jt.completion > 0.0 && t >= jt.completion) return 0.0;
+  return jt.remaining.value(t);
+}
+
+std::vector<double> TrajectoryRecorder::all_times() const {
+  std::vector<double> out;
+  for (const auto& [id, jt] : traj_) {
+    (void)id;
+    out.insert(out.end(), jt.remaining.times().begin(),
+               jt.remaining.times().end());
+  }
+  return out;
+}
+
+void CountTracker::record(double t) {
+  count_.append(t, static_cast<double>(alive_));
+}
+
+void CountTracker::on_arrival(double t, const Job& job) {
+  (void)job;
+  ++alive_;
+  record(t);
+}
+
+void CountTracker::on_completion(double t, const Job& job) {
+  (void)job;
+  --alive_;
+  assert(alive_ >= 0);
+  record(t);
+}
+
+void CountTracker::on_done(double t) { record(t); }
+
+}  // namespace parsched

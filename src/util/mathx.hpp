@@ -1,0 +1,109 @@
+// parsched — math helpers shared across the library.
+//
+// Everything here is small, header-only and allocation-free: float
+// comparisons with mixed absolute/relative tolerance, the size-class index
+// used by the Leonardi–Raz style analysis (Section 2.2 of the paper), and
+// the closed-form quantities from the paper's lower-bound constructions.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace parsched {
+
+/// Positive infinity for time-like quantities.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Default tolerance used to group simultaneous events and compare work.
+inline constexpr double kEps = 1e-9;
+
+/// True when |a - b| <= tol * max(1, |a|, |b|): mixed absolute/relative.
+[[nodiscard]] inline bool approx_eq(double a, double b, double tol = kEps) {
+  return std::fabs(a - b) <= tol * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+/// True when a < b and not approx_eq(a, b).
+[[nodiscard]] inline bool definitely_less(double a, double b,
+                                          double tol = kEps) {
+  return a < b && !approx_eq(a, b, tol);
+}
+
+/// True when a <= b up to tolerance.
+[[nodiscard]] inline bool leq_tol(double a, double b, double tol = kEps) {
+  return a <= b || approx_eq(a, b, tol);
+}
+
+/// Clamp tiny negatives (numerical dust) to exactly zero.
+[[nodiscard]] inline double clamp_nonneg(double x, double tol = kEps) {
+  if (x < 0.0) {
+    assert(x > -1e-6 && "value is negative beyond numerical tolerance");
+    (void)tol;
+    return 0.0;
+  }
+  return x;
+}
+
+/// Size-class index of the paper's analysis: a job with remaining work
+/// w in [2^k, 2^{k+1}) is in class k; w < 1 is the special class -1.
+[[nodiscard]] inline int size_class(double remaining) {
+  if (remaining < 1.0) return -1;
+  return static_cast<int>(std::floor(std::log2(remaining)));
+}
+
+/// Number of initial job classes for sizes in [1, P]: ceil(log2 P), min 1.
+[[nodiscard]] inline int num_size_classes(double P) {
+  assert(P >= 1.0);
+  return std::max(1, static_cast<int>(std::ceil(std::log2(P))));
+}
+
+/// log base (1/r); used throughout the Section-4 adversary.
+[[nodiscard]] inline double log_inv(double r, double x) {
+  assert(r > 0.0 && r < 1.0 && x > 0.0);
+  return std::log(x) / std::log(1.0 / r);
+}
+
+/// Closed-form quantities of the Section-4 lower-bound construction for
+/// intermediate parallelizability exponent alpha (epsilon = 1 - alpha).
+struct AdversaryConstants {
+  double alpha = 0.0;    ///< parallelizability exponent
+  double epsilon = 1.0;  ///< 1 - alpha
+  double r = 0.25;       ///< phase length reduction factor, r = (1 - 2^-eps)/2
+  double kappa = 1.0;    ///< (2^eps - 1)/(2^eps + 1), the "slack" constant
+};
+
+[[nodiscard]] inline AdversaryConstants adversary_constants(double alpha) {
+  assert(alpha >= 0.0 && alpha < 1.0);
+  AdversaryConstants c;
+  c.alpha = alpha;
+  c.epsilon = 1.0 - alpha;
+  const double two_eps = std::exp2(c.epsilon);
+  c.r = 0.5 * (1.0 - 1.0 / two_eps);
+  c.kappa = (two_eps - 1.0) / (two_eps + 1.0);
+  return c;
+}
+
+/// Theorem 1's competitive-ratio envelope (up to the O(1)): 4^{1/(1-a)} log2 P.
+[[nodiscard]] inline double theorem1_envelope(double alpha, double P) {
+  assert(alpha < 1.0 && P >= 2.0);
+  return std::pow(4.0, 1.0 / (1.0 - alpha)) * std::log2(P);
+}
+
+/// Integer power for small exponents (exact for doubles representing ints).
+[[nodiscard]] inline double ipow(double base, int exp) {
+  double out = 1.0;
+  for (int i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+/// Round x to the nearest integer and assert it was already integral.
+[[nodiscard]] inline std::int64_t round_integral(double x, double tol = 1e-6) {
+  const double r = std::round(x);
+  assert(std::fabs(x - r) <= tol && "expected an integral value");
+  (void)tol;
+  return static_cast<std::int64_t>(r);
+}
+
+}  // namespace parsched

@@ -1,0 +1,98 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace parsched {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "true";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  touched_[key] = true;
+  return kv_.count(key) > 0;
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<double> Options::get_doubles(const std::string& key,
+                                         std::vector<double> fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stod(tok));
+  }
+  if (out.empty()) throw std::invalid_argument("empty list for --" + key);
+  return out;
+}
+
+std::vector<std::int64_t> Options::get_ints(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  touched_[key] = true;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+  }
+  if (out.empty()) throw std::invalid_argument("empty list for --" + key);
+  return out;
+}
+
+std::vector<std::string> Options::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    (void)v;
+    if (!touched_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace parsched

@@ -1,0 +1,48 @@
+// parsched — tiny --key=value command-line parser for examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parsched {
+
+/// Parses `--key=value` and bare `--flag` arguments. Unknown positional
+/// arguments are collected separately. Lookup helpers provide typed access
+/// with defaults; `used_keys()` supports strict validation.
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list of doubles, e.g. --alpha=0.25,0.5,0.75.
+  [[nodiscard]] std::vector<double> get_doubles(
+      const std::string& key, std::vector<double> fallback) const;
+
+  /// Comma-separated list of integers.
+  [[nodiscard]] std::vector<std::int64_t> get_ints(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Keys present on the command line but never looked up (typo detection).
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace parsched

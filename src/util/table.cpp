@@ -1,0 +1,121 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parsched {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::setprecision(precision_) << std::fixed << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& r : rendered) line(r);
+  rule();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open CSV output: " + path);
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string e = "\"";
+    for (char ch : s) {
+      if (ch == '"') e += '"';
+      e += ch;
+    }
+    e += '"';
+    return e;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      if (const auto* s = std::get_if<std::string>(&row[c])) {
+        out << escape(*s);
+      } else if (const auto* i = std::get_if<std::int64_t>(&row[c])) {
+        out << *i;
+      } else {
+        out << std::setprecision(12) << std::get<double>(row[c]);
+      }
+    }
+    out << '\n';
+  }
+}
+
+std::vector<double> Table::numeric_column(const std::string& header) const {
+  const auto it = std::find(headers_.begin(), headers_.end(), header);
+  if (it == headers_.end()) {
+    throw std::out_of_range("no such column: " + header);
+  }
+  const auto idx = static_cast<std::size_t>(it - headers_.begin());
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    if (const auto* i = std::get_if<std::int64_t>(&row[idx])) {
+      out.push_back(static_cast<double>(*i));
+    } else {
+      out.push_back(std::get<double>(row[idx]));
+    }
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace parsched

@@ -1,0 +1,49 @@
+// parsched — paper-style ASCII tables and CSV emission.
+//
+// Every bench binary prints one fixed-width table per experiment so the
+// output reads like the rows of a paper table, and mirrors the same rows to
+// a CSV file for offline plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace parsched {
+
+/// A table cell: string, integer, or double (formatted with precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  /// `precision` controls how doubles are rendered.
+  explicit Table(std::vector<std::string> headers, int precision = 4);
+
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column rules and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Write headers + rows as RFC-4180-ish CSV.
+  void write_csv(const std::string& path) const;
+
+  /// Access a numeric column (throws std::out_of_range on bad name,
+  /// std::bad_variant_access if a cell is a string).
+  [[nodiscard]] std::vector<double> numeric_column(
+      const std::string& header) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace parsched

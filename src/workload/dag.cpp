@@ -1,0 +1,92 @@
+#include "workload/dag.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace parsched {
+
+DagInstance make_fork_join(const ForkJoinConfig& cfg) {
+  if (cfg.pipelines < 1 || cfg.stages < 1 || cfg.branches < 1) {
+    throw std::invalid_argument("fork-join needs >= 1 of everything");
+  }
+  Rng rng(cfg.seed);
+  std::vector<DagNode> nodes;
+  JobId next_id = 0;
+  double release = 0.0;
+  const SpeedupCurve branch_curve = SpeedupCurve::power_law(cfg.branch_alpha);
+  const SpeedupCurve barrier_curve =
+      SpeedupCurve::power_law(cfg.barrier_alpha);
+  for (int p = 0; p < cfg.pipelines; ++p) {
+    if (p > 0) release += rng.exponential(1.0 / cfg.mean_interarrival);
+    JobId prev_barrier = kInvalidJob;
+    for (int s = 0; s < cfg.stages; ++s) {
+      std::vector<JobId> branch_ids;
+      for (int b = 0; b < cfg.branches; ++b) {
+        DagNode n;
+        n.job.id = next_id++;
+        n.job.release = release;
+        n.job.size = cfg.branch_work;
+        n.job.curve = branch_curve;
+        n.job.tag = {s, JobTag::Class::kShort, b};
+        if (prev_barrier != kInvalidJob) n.deps.push_back(prev_barrier);
+        branch_ids.push_back(n.job.id);
+        nodes.push_back(std::move(n));
+      }
+      DagNode barrier;
+      barrier.job.id = next_id++;
+      barrier.job.release = release;
+      barrier.job.size = cfg.barrier_work;
+      barrier.job.curve = barrier_curve;
+      barrier.job.tag = {s, JobTag::Class::kLong, 0};
+      barrier.deps = branch_ids;
+      prev_barrier = barrier.job.id;
+      nodes.push_back(std::move(barrier));
+    }
+  }
+  return DagInstance(cfg.machines, std::move(nodes));
+}
+
+DagInstance make_layered_dag(const LayeredDagConfig& cfg) {
+  if (cfg.layers < 1 || cfg.width < 1) {
+    throw std::invalid_argument("layered dag needs >= 1 layer and width");
+  }
+  if (cfg.edge_prob < 0.0 || cfg.edge_prob > 1.0) {
+    throw std::invalid_argument("edge_prob in [0, 1]");
+  }
+  Rng rng(cfg.seed);
+  std::vector<DagNode> nodes;
+  JobId next_id = 0;
+  std::vector<JobId> prev_layer;
+  const SpeedupCurve curve = SpeedupCurve::power_law(cfg.alpha);
+  for (int l = 0; l < cfg.layers; ++l) {
+    std::vector<JobId> layer;
+    for (int w = 0; w < cfg.width; ++w) {
+      DagNode n;
+      n.job.id = next_id++;
+      n.job.release = 0.0;
+      n.job.size = rng.uniform(cfg.min_work, cfg.max_work);
+      n.job.curve = curve;
+      n.job.tag = {l, JobTag::Class::kNone, w};
+      bool has_dep = false;
+      for (JobId d : prev_layer) {
+        if (rng.bernoulli(cfg.edge_prob)) {
+          n.deps.push_back(d);
+          has_dep = true;
+        }
+      }
+      // Keep layers meaningful: every non-root layer task depends on at
+      // least one predecessor.
+      if (l > 0 && !has_dep && !prev_layer.empty()) {
+        n.deps.push_back(prev_layer[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(prev_layer.size()) - 1))]);
+      }
+      layer.push_back(n.job.id);
+      nodes.push_back(std::move(n));
+    }
+    prev_layer = std::move(layer);
+  }
+  return DagInstance(cfg.machines, std::move(nodes));
+}
+
+}  // namespace parsched

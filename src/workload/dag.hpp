@@ -1,0 +1,45 @@
+// parsched — precedence-constrained workload generators.
+//
+// Two canonical shapes:
+//  * fork-join pipelines — a chain of stages, each forking into b parallel
+//    branch tasks that join into a (poorly parallelizable) barrier task;
+//    the classic BSP / map-reduce skeleton;
+//  * layered random DAGs — tasks in layers, each depending on a random
+//    subset of the previous layer.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/precedence.hpp"
+
+namespace parsched {
+
+struct ForkJoinConfig {
+  int machines = 16;
+  int pipelines = 8;      ///< independent job pipelines (arrive Poisson)
+  int stages = 3;         ///< fork-join stages per pipeline
+  int branches = 4;       ///< parallel branch tasks per stage
+  double branch_work = 4.0;
+  double barrier_work = 1.0;
+  double branch_alpha = 0.9;   ///< branches parallelize well
+  double barrier_alpha = 0.1;  ///< barriers do not
+  double mean_interarrival = 4.0;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] DagInstance make_fork_join(const ForkJoinConfig& cfg);
+
+struct LayeredDagConfig {
+  int machines = 16;
+  int layers = 4;
+  int width = 8;          ///< tasks per layer
+  double edge_prob = 0.5; ///< P(task depends on a given previous-layer task)
+  double min_work = 1.0;
+  double max_work = 8.0;
+  double alpha = 0.5;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] DagInstance make_layered_dag(const LayeredDagConfig& cfg);
+
+}  // namespace parsched

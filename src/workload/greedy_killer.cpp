@@ -1,0 +1,103 @@
+#include "workload/greedy_killer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parsched {
+
+GreedyKillerInstance make_greedy_killer(const GreedyKillerConfig& cfg) {
+  const int m = cfg.machines;
+  if (m < 4) throw std::invalid_argument("greedy killer needs m >= 4");
+  if (cfg.alpha <= 0.0 || cfg.alpha >= 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1)");
+  }
+  const double eps = 1.0 - cfg.alpha;
+  const double k_exact = std::pow(static_cast<double>(m), 1.0 - eps);
+  const auto k = static_cast<std::int64_t>(std::llround(k_exact));
+  // The construction (and its alternative schedule) needs m^{1-eps} = m^alpha
+  // to be a whole number: unit jobs arrive every 1/k and are processed on
+  // all m machines in exactly 1/m^alpha, so the two must coincide. Pick
+  // (m, alpha) pairs accordingly (e.g. alpha = 0.5 with square m).
+  if (std::fabs(k_exact - static_cast<double>(k)) > 1e-9 * k_exact) {
+    throw std::invalid_argument(
+        "greedy killer needs m^{1-eps} integral; choose m accordingly");
+  }
+  if (k < 1 || k >= m) {
+    throw std::invalid_argument("degenerate parameters: k must be in [1, m)");
+  }
+  const double X =
+      cfg.stream_time > 0.0
+          ? cfg.stream_time
+          : static_cast<double>(m) * static_cast<double>(m);
+  const double dt = 1.0 / static_cast<double>(k);
+  const SpeedupCurve curve = SpeedupCurve::power_law(cfg.alpha);
+
+  std::vector<Job> jobs;
+  JobId next_id = 0;
+  // Long jobs of size m at time 0.
+  for (int i = 0; i < m - static_cast<int>(k); ++i) {
+    Job j;
+    j.id = next_id++;
+    j.release = 0.0;
+    j.size = static_cast<double>(m);
+    j.curve = curve;
+    j.tag = {0, JobTag::Class::kLong, i};
+    jobs.push_back(std::move(j));
+  }
+  // Phase-1 unit jobs: one every 1/k on [0, m - 1/k].
+  const auto n_phase1 = static_cast<std::int64_t>(m) * k;
+  for (std::int64_t i = 0; i < n_phase1; ++i) {
+    Job j;
+    j.id = next_id++;
+    j.release = static_cast<double>(i) * dt;
+    j.size = 1.0;
+    j.curve = curve;
+    j.tag = {0, JobTag::Class::kShort, i};
+    jobs.push_back(std::move(j));
+  }
+  // Stream: from m + 1, one every 1/k for X time units.
+  const auto n_stream = static_cast<std::int64_t>(std::floor(X)) * k;
+  for (std::int64_t i = 0; i < n_stream; ++i) {
+    Job j;
+    j.id = next_id++;
+    j.release = static_cast<double>(m) + 1.0 + static_cast<double>(i) * dt;
+    j.size = 1.0;
+    j.curve = curve;
+    j.tag = {1, JobTag::Class::kStream, i};
+    jobs.push_back(std::move(j));
+  }
+
+  GreedyKillerInstance out{Instance(m, std::move(jobs)), cfg, k, X};
+  return out;
+}
+
+Plan greedy_killer_alternative_plan(const GreedyKillerInstance& gk) {
+  Plan plan;
+  const double m = static_cast<double>(gk.config.machines);
+  const double dt = 1.0 / static_cast<double>(gk.k);  // = 1 / m^alpha
+  for (const Job& j : gk.instance.jobs()) {
+    switch (j.tag.cls) {
+      case JobTag::Class::kLong:
+        // One machine for the whole horizon [0, m]; rate Γ(1) = 1, size m.
+        plan.add(j.id, 0.0, m, 1.0);
+        break;
+      case JobTag::Class::kShort:
+        // Phase-1 unit job: one machine for one unit of time upon arrival.
+        // At any instant exactly k unit jobs run next to the m - k longs.
+        plan.add(j.id, j.release, j.release + 1.0, 1.0);
+        break;
+      case JobTag::Class::kStream:
+        // Stream job: ALL m machines (the long jobs are gone by m < m+1).
+        // Rate Γ(m) = m^alpha = k, so it finishes in exactly 1/k — just as
+        // the next stream job arrives. Total stream flow is X, which is
+        // what makes OPT = O(m^2) while Greedy pays Omega(m^3) (Lemma 10).
+        plan.add(j.id, j.release, j.release + dt, m);
+        break;
+      case JobTag::Class::kNone:
+        break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace parsched

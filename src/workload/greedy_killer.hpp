@@ -1,0 +1,47 @@
+// parsched — the Section-3 lower-bound instance for the Greedy hybrid.
+//
+// With epsilon = 1 - alpha and k = round(m^{1-epsilon}):
+//   * m - k jobs of size m released at time 0 ("long");
+//   * one job of size 1 released every 1/k time units on [0, m - 1/k)
+//     ("short": m*k of them);
+//   * from time m + 1, one job of size 1 every 1/k time units for X time
+//     units ("stream": X*k of them; the paper takes X = m^2).
+//
+// Greedy devotes all m machines to the current unit job (each finishes in
+// m^{-alpha} = 1/k time, exactly the arrival spacing), starving the long
+// jobs for the entire stream: total flow Omega((m - m^{1-eps}) * X).
+// The paper's explicit alternative schedule — long jobs one machine each on
+// [0, m], every unit job one machine for one unit — achieves O(m^2 + X),
+// giving the Omega(max{P, n^{1/3}}) lower bound (P = m here).
+#pragma once
+
+#include <cstdint>
+
+#include "sched/opt/plan.hpp"
+#include "simcore/instance.hpp"
+
+namespace parsched {
+
+struct GreedyKillerConfig {
+  int machines = 64;      ///< m; also the long-job size, so P = m
+  double alpha = 0.5;     ///< parallelizability exponent of every job
+  double stream_time = -1.0;  ///< X; negative = the paper's m^2
+};
+
+struct GreedyKillerInstance {
+  Instance instance;
+  GreedyKillerConfig config;
+  std::int64_t k = 0;  ///< round(m^{1-eps}) = unit-job arrival rate
+  double X = 0.0;      ///< realized stream length
+};
+
+[[nodiscard]] GreedyKillerInstance make_greedy_killer(
+    const GreedyKillerConfig& cfg);
+
+/// The paper's alternative schedule (feasible; upper-bounds OPT):
+/// long jobs get one machine each on [0, m]; every unit job gets one
+/// machine for one time unit starting at its release.
+[[nodiscard]] Plan greedy_killer_alternative_plan(
+    const GreedyKillerInstance& gk);
+
+}  // namespace parsched

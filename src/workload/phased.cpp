@@ -1,0 +1,46 @@
+#include "workload/phased.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace parsched {
+
+Instance make_phased_instance(const PhasedWorkloadConfig& cfg) {
+  if (cfg.max_rounds < 1) throw std::invalid_argument("max_rounds >= 1");
+  if (cfg.bottleneck_fraction <= 0.0 || cfg.bottleneck_fraction >= 1.0) {
+    throw std::invalid_argument("bottleneck_fraction in (0, 1)");
+  }
+  Rng rng(cfg.seed);
+  const SpeedupCurve par = SpeedupCurve::power_law(cfg.parallel_alpha);
+  const SpeedupCurve bot = SpeedupCurve::power_law(cfg.bottleneck_alpha);
+  // Mean size of log-uniform on [1, P].
+  const double mean_size =
+      cfg.P > 1.0 ? (cfg.P - 1.0) / std::log(cfg.P) : 1.0;
+  const double rate =
+      cfg.load * static_cast<double>(cfg.machines) / mean_size;
+
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    t += rng.exponential(rate);
+    const double size = rng.log_uniform(1.0, cfg.P);
+    const int rounds = static_cast<int>(
+        rng.uniform_int(1, cfg.max_rounds));
+    const double per_round = size / rounds;
+    std::vector<JobPhase> phases;
+    phases.reserve(2 * static_cast<std::size_t>(rounds));
+    for (int r = 0; r < rounds; ++r) {
+      phases.push_back(
+          {per_round * (1.0 - cfg.bottleneck_fraction), par});
+      phases.push_back({per_round * cfg.bottleneck_fraction, bot});
+    }
+    Job j = make_phased_job(static_cast<JobId>(i), t, std::move(phases));
+    jobs.push_back(std::move(j));
+  }
+  return Instance(cfg.machines, std::move(jobs));
+}
+
+}  // namespace parsched

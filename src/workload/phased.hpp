@@ -1,0 +1,37 @@
+// parsched — multi-phase job workloads (the related-work model).
+//
+// The arbitrary-speedup-curve literature ([Edmonds, Scheduling in the
+// dark], [Edmonds–Pruhs]) models a job as a *sequence of phases*, each
+// with its own speedup curve, invisible to a non-clairvoyant scheduler.
+// The canonical motivating shape is a data-analytics job: a highly
+// parallel "map"/scan phase followed by a poorly parallelizable
+// "reduce"/merge phase, possibly alternating.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/instance.hpp"
+
+namespace parsched {
+
+struct PhasedWorkloadConfig {
+  int machines = 16;
+  std::size_t jobs = 200;
+  double P = 64.0;  ///< total-size ratio bound (sizes drawn log-uniform)
+  /// Number of (parallel, bottleneck) phase pairs per job, drawn uniformly
+  /// from [1, max_rounds].
+  int max_rounds = 3;
+  /// Alpha of the parallel phases (close to 1) and of the bottleneck
+  /// phases (close to 0).
+  double parallel_alpha = 0.95;
+  double bottleneck_alpha = 0.1;
+  /// Fraction of each round's work that is the bottleneck phase.
+  double bottleneck_fraction = 0.25;
+  double load = 0.8;  ///< offered load as in RandomWorkloadConfig
+  std::uint64_t seed = 1;
+};
+
+/// Poisson stream of alternating parallel/bottleneck multi-phase jobs.
+[[nodiscard]] Instance make_phased_instance(const PhasedWorkloadConfig& cfg);
+
+}  // namespace parsched

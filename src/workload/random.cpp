@@ -1,0 +1,122 @@
+#include "workload/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parsched {
+
+std::string to_string(SizeLaw law) {
+  switch (law) {
+    case SizeLaw::kUniform:
+      return "uniform";
+    case SizeLaw::kLogUniform:
+      return "log-uniform";
+    case SizeLaw::kBoundedPareto:
+      return "bounded-pareto";
+    case SizeLaw::kBimodal:
+      return "bimodal";
+  }
+  return "?";
+}
+
+namespace {
+
+double draw_size(Rng& rng, SizeLaw law, double P) {
+  switch (law) {
+    case SizeLaw::kUniform:
+      return rng.uniform(1.0, P);
+    case SizeLaw::kLogUniform:
+      return rng.log_uniform(1.0, P);
+    case SizeLaw::kBoundedPareto:
+      return P > 1.0 ? rng.bounded_pareto(1.0, P, 1.1) : 1.0;
+    case SizeLaw::kBimodal:
+      return rng.bernoulli(0.9) ? 1.0 : P;
+  }
+  return 1.0;
+}
+
+SpeedupCurve draw_curve(Rng& rng, AlphaLaw law, double lo, double hi) {
+  switch (law) {
+    case AlphaLaw::kFixed:
+      return SpeedupCurve::power_law(lo);
+    case AlphaLaw::kUniform:
+      return SpeedupCurve::power_law(rng.uniform(lo, hi));
+    case AlphaLaw::kMixed: {
+      const double u = rng.uniform01();
+      if (u < 1.0 / 3.0) return SpeedupCurve::sequential();
+      if (u < 2.0 / 3.0) return SpeedupCurve::power_law(rng.uniform(lo, hi));
+      return SpeedupCurve::fully_parallel();
+    }
+  }
+  return SpeedupCurve::fully_parallel();
+}
+
+double mean_size(SizeLaw law, double P) {
+  switch (law) {
+    case SizeLaw::kUniform:
+      return (1.0 + P) / 2.0;
+    case SizeLaw::kLogUniform:
+      return P > 1.0 ? (P - 1.0) / std::log(P) : 1.0;
+    case SizeLaw::kBoundedPareto: {
+      // E[X] for bounded Pareto(1, P, a=1.1).
+      const double a = 1.1;
+      if (P <= 1.0) return 1.0;
+      return std::pow(1.0, a) / (1.0 - std::pow(1.0 / P, a)) * a /
+             (a - 1.0) * (1.0 - std::pow(P, 1.0 - a));
+    }
+    case SizeLaw::kBimodal:
+      return 0.9 + 0.1 * P;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Instance make_random_instance(const RandomWorkloadConfig& cfg) {
+  if (cfg.load <= 0.0) throw std::invalid_argument("load must be positive");
+  if (cfg.P < 1.0) throw std::invalid_argument("P must be >= 1");
+  Rng rng(cfg.seed);
+  // Arrival rate so that (rate * E[size]) = load * m.
+  const double rate = cfg.load * static_cast<double>(cfg.machines) /
+                      mean_size(cfg.size_law, cfg.P);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    t += rng.exponential(rate);
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.release = t;
+    j.size = draw_size(rng, cfg.size_law, cfg.P);
+    j.curve = draw_curve(rng, cfg.alpha_law, cfg.alpha_lo, cfg.alpha_hi);
+    switch (cfg.weight_law) {
+      case WeightLaw::kUnit:
+        break;
+      case WeightLaw::kUniform:
+        j.weight = rng.uniform(1.0, 10.0);
+        break;
+      case WeightLaw::kInverseSize:
+        j.weight = cfg.P / j.size;
+        break;
+    }
+    jobs.push_back(std::move(j));
+  }
+  return Instance(cfg.machines, std::move(jobs));
+}
+
+Instance make_batch_instance(const BatchWorkloadConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.release = 0.0;
+    j.size = draw_size(rng, cfg.size_law, cfg.P);
+    j.curve = draw_curve(rng, cfg.alpha_law, cfg.alpha_lo, cfg.alpha_hi);
+    jobs.push_back(std::move(j));
+  }
+  return Instance(cfg.machines, std::move(jobs));
+}
+
+}  // namespace parsched

@@ -1,0 +1,68 @@
+// parsched — randomized workload generation.
+//
+// Poisson arrivals with pluggable size and parallelizability laws, load
+// expressed relative to system capacity. Used by the policy-mix bench (E9)
+// and by every property-test suite as an instance fuzzer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/instance.hpp"
+#include "util/rng.hpp"
+
+namespace parsched {
+
+enum class SizeLaw {
+  kUniform,       ///< uniform on [1, P]
+  kLogUniform,    ///< uniform in log-space on [1, P]
+  kBoundedPareto, ///< bounded Pareto on [1, P], tail index 1.1
+  kBimodal,       ///< 90% size 1, 10% size P
+};
+
+[[nodiscard]] std::string to_string(SizeLaw law);
+
+enum class AlphaLaw {
+  kFixed,    ///< every job has alpha = alpha_lo
+  kUniform,  ///< alpha uniform on [alpha_lo, alpha_hi]
+  kMixed,    ///< 1/3 sequential, 1/3 power(alpha_lo..hi), 1/3 parallel
+};
+
+enum class WeightLaw {
+  kUnit,         ///< w = 1 (the paper's unweighted objective)
+  kUniform,      ///< w uniform on [1, 10]
+  kInverseSize,  ///< w = P / size: small jobs are urgent (interactive mix)
+};
+
+struct RandomWorkloadConfig {
+  int machines = 16;
+  std::size_t jobs = 200;
+  double P = 64.0;              ///< max/min size ratio
+  SizeLaw size_law = SizeLaw::kLogUniform;
+  AlphaLaw alpha_law = AlphaLaw::kFixed;
+  double alpha_lo = 0.5;
+  double alpha_hi = 0.5;
+  WeightLaw weight_law = WeightLaw::kUnit;
+  /// Offered load: expected arriving work per unit time, as a fraction of
+  /// the m machines' aggregate capacity. 1.0 = critically loaded.
+  double load = 0.8;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Instance make_random_instance(const RandomWorkloadConfig& cfg);
+
+/// All jobs released at time 0 (the batch setting of [5], bench E6).
+struct BatchWorkloadConfig {
+  int machines = 16;
+  std::size_t jobs = 64;
+  double P = 64.0;
+  SizeLaw size_law = SizeLaw::kLogUniform;
+  AlphaLaw alpha_law = AlphaLaw::kUniform;
+  double alpha_lo = 0.1;
+  double alpha_hi = 0.9;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Instance make_batch_instance(const BatchWorkloadConfig& cfg);
+
+}  // namespace parsched

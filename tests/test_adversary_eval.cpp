@@ -1,0 +1,91 @@
+// The adversary-measurement methodology (analysis/adversary_eval):
+// extrapolation exactness, backlog structure, phase targeting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/adversary_eval.hpp"
+#include "util/mathx.hpp"
+
+namespace parsched {
+namespace {
+
+TEST(AdversaryEval, PForPhasesRealizesRequestedPhaseCount) {
+  for (double alpha : {0.0, 0.25, 0.5}) {
+    for (int L = 1; L <= 3; ++L) {
+      const double P = P_for_phases(alpha, L);
+      const AdversaryConstants c = adversary_constants(alpha);
+      const int realized = static_cast<int>(
+          std::floor(log_inv(c.r, P) / 2.0));
+      EXPECT_EQ(realized, L) << "alpha=" << alpha << " L=" << L;
+    }
+  }
+}
+
+TEST(AdversaryEval, ExtrapolationIsIdentityWhenStreamFits) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 16.0;
+  cfg.alpha = 0.0;
+  cfg.stream_time = 256.0;  // = P^2, below the default cap
+  const AdversaryPoint pt = run_adversary_point("isrpt", cfg);
+  EXPECT_DOUBLE_EQ(pt.X0, pt.X_full);
+  EXPECT_NEAR(pt.ratio_extrapolated(), pt.alg_flow / pt.plan_flow,
+              1e-12 * pt.ratio_extrapolated());
+}
+
+TEST(AdversaryEval, ExtrapolationMatchesDirectSimulation) {
+  // Same instance measured with two different caps must extrapolate to
+  // (almost) the same full-stream ratio — the linearity claim itself.
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 256.03;  // 2 phases at alpha = 0
+  cfg.alpha = 0.0;
+  const AdversaryPoint coarse = run_adversary_point("isrpt", cfg, 512.0);
+  const AdversaryPoint fine = run_adversary_point("isrpt", cfg, 4096.0);
+  EXPECT_NEAR(coarse.ratio_extrapolated(), fine.ratio_extrapolated(),
+              0.02 * fine.ratio_extrapolated());
+}
+
+TEST(AdversaryEval, IsrptBacklogIsMPlusHalfMPerPhase) {
+  // The paper's Omega(m log_{1/r} P) backlog, realized: ISRPT carries the
+  // m/2 long jobs of every phase plus the m in-flight stream jobs.
+  for (int L = 1; L <= 3; ++L) {
+    AdversaryConfig cfg;
+    cfg.machines = 8;
+    cfg.P = P_for_phases(0.0, L);
+    cfg.alpha = 0.0;
+    const AdversaryPoint pt = run_adversary_point("isrpt", cfg, 1024.0);
+    EXPECT_EQ(pt.phases, L);
+    EXPECT_FALSE(pt.case1);  // ISRPT drains unit jobs -> case 2
+    EXPECT_NEAR(pt.alive_tail, 8.0 + 4.0 * L, 1e-9);
+  }
+}
+
+TEST(AdversaryEval, RatioGrowsWithPhases) {
+  double prev = 0.0;
+  for (int L = 1; L <= 3; ++L) {
+    AdversaryConfig cfg;
+    cfg.machines = 8;
+    cfg.P = P_for_phases(0.0, L);
+    cfg.alpha = 0.0;
+    const AdversaryPoint pt = run_adversary_point("isrpt", cfg, 1024.0);
+    EXPECT_GT(pt.ratio_extrapolated(), prev);
+    prev = pt.ratio_extrapolated();
+  }
+  EXPECT_GT(prev, 2.0);  // 3 phases: well above the single-phase 1.33
+}
+
+TEST(AdversaryEval, SandwichOrdering) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  const AdversaryPoint pt = run_adversary_point("equi", cfg, 512.0);
+  EXPECT_GE(pt.opt_upper, pt.opt_lower - 1e-9);
+  EXPECT_GE(pt.ratio_ub(), pt.ratio_lb() - 1e-12);
+  EXPECT_GT(pt.jobs, 0u);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,264 @@
+// Analysis layer: trajectories, competitive sandwich, potential function,
+// local competitiveness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/competitive.hpp"
+#include "analysis/local_comp.hpp"
+#include "analysis/potential.hpp"
+#include "analysis/trajectories.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/sequential_srpt.hpp"
+#include "simcore/engine.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+Job make_job(JobId id, double release, double size, double alpha) {
+  Job j;
+  j.id = id;
+  j.release = release;
+  j.size = size;
+  j.curve = SpeedupCurve::power_law(alpha);
+  return j;
+}
+
+ScheduleTrajectories record(const Instance& inst, Scheduler& sched) {
+  TrajectoryRecorder rec;
+  (void)simulate(inst, sched, {}, {&rec});
+  return ScheduleTrajectories::from_recorder(rec);
+}
+
+// --------------------------------------------------------- trajectories
+
+TEST(Trajectories, FromPlanMatchesHandComputation) {
+  Instance inst(2, {make_job(0, 1.0, 4.0, 0.5)});
+  Plan plan;
+  plan.add(0, 1.0, 5.0, 1.0);
+  const auto st = ScheduleTrajectories::from_plan(inst, plan);
+  EXPECT_DOUBLE_EQ(st.remaining_at(0, 0.5), 4.0);  // before release
+  EXPECT_NEAR(st.remaining_at(0, 3.0), 2.0, 1e-9);
+  EXPECT_NEAR(st.remaining_at(0, 5.0), 0.0, 1e-9);
+  EXPECT_TRUE(st.alive_at(0, 2.0));
+  EXPECT_FALSE(st.alive_at(0, 0.5));
+  EXPECT_FALSE(st.alive_at(0, 5.0));
+  EXPECT_EQ(st.alive_count_at(2.0), 1u);
+  EXPECT_NEAR(st.horizon(), 5.0, 1e-9);
+}
+
+TEST(Trajectories, FromRecorderTracksAliveCounts) {
+  Instance inst(1, {make_job(0, 0.0, 2.0, 0.0), make_job(1, 0.5, 2.0, 0.0)});
+  SequentialSrpt sched;
+  const auto st = record(inst, sched);
+  EXPECT_EQ(st.alive_count_at(0.25), 1u);
+  EXPECT_EQ(st.alive_count_at(1.0), 2u);
+  EXPECT_EQ(st.alive_count_at(4.5), 0u);
+  const auto bp = st.breakpoints();
+  EXPECT_FALSE(bp.empty());
+  EXPECT_TRUE(std::is_sorted(bp.begin(), bp.end()));
+}
+
+TEST(Trajectories, PlanRequiresAllJobs) {
+  Instance inst(1, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 1.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 1.0, 1.0);
+  EXPECT_THROW((void)ScheduleTrajectories::from_plan(inst, plan),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- competitive
+
+TEST(Competitive, SandwichOrdering) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 40;
+  cfg.seed = 21;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt sched;
+  const CompetitiveReport rep = compare_to_opt(inst, sched);
+  EXPECT_GT(rep.alg_flow, 0.0);
+  EXPECT_GT(rep.opt_lower, 0.0);
+  EXPECT_GE(rep.opt_upper, rep.opt_lower - 1e-9);
+  EXPECT_GE(rep.ratio_ub(), rep.ratio_lb() - 1e-9);
+  // ISRPT is itself in the portfolio, so ratio_lb <= 1 ... == 1 only if it
+  // is the best; in general alg_flow >= best portfolio flow.
+  EXPECT_GE(rep.ratio_lb(), 1.0 - 1e-9);
+  EXPECT_EQ(rep.jobs, 40u);
+}
+
+// ------------------------------------------------------------ potential
+
+TEST(Potential, ZeroWhenAlgMatchesReference) {
+  Instance inst(2, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.0, 3.0, 0.5)});
+  IntermediateSrpt sched;
+  const auto st = record(inst, sched);
+  // z_i = max(p^A - p^A, 0) = 0 everywhere.
+  EXPECT_DOUBLE_EQ(potential_at(st, st, 2, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(potential_at(st, st, 2, 2.0), 0.0);
+}
+
+TEST(Potential, PositiveWhenAlgBehind) {
+  // ALG = Sequential-SRPT (1 machine max per job), REF uses both machines.
+  Instance inst(2, {make_job(0, 0.0, 4.0, 0.5)});
+  SequentialSrpt seq;
+  const auto alg = record(inst, seq);
+  Plan plan;
+  plan.add(0, 0.0, 4.0, 2.0);  // rate 2^0.5
+  const auto ref = ScheduleTrajectories::from_plan(inst, plan);
+  // At t=2: ALG remaining 2, REF remaining 4 - 2*2^0.5 ~ 1.17 -> z ~ 0.83.
+  const double z = 2.0 - (4.0 - 2.0 * std::sqrt(2.0));
+  // rank 1, m/rank = 2, Γ(2) = 2^0.5.
+  EXPECT_NEAR(potential_at(alg, ref, 2, 2.0),
+              16.0 * z / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Potential, RankCapsAtM) {
+  // Three alive jobs on m = 2: the third job's rank is capped at 2.
+  Instance inst(2, {make_job(0, 0.0, 8.0, 0.5), make_job(1, 0.0, 8.0, 0.5),
+                    make_job(2, 0.0, 8.0, 0.5)});
+  SequentialSrpt seq;
+  const auto alg = record(inst, seq);
+  // Reference that finishes instantly-ish: all jobs behind -> all z > 0.
+  Plan plan;
+  plan.add(0, 0.0, 8.0, 1.0);
+  plan.add(1, 0.0, 8.0, 1.0);
+  plan.add(2, 8.0, 16.0, 1.0);
+  const auto ref = ScheduleTrajectories::from_plan(inst, plan);
+  // At t tiny: z_i ~ 0; at t = 12: ALG has job2 remaining (it waited),
+  // REF has it half done. Just assert positivity and finiteness.
+  const double phi = potential_at(alg, ref, 2, 12.0);
+  EXPECT_GE(phi, 0.0);
+  EXPECT_TRUE(std::isfinite(phi));
+}
+
+TEST(Potential, AnalyzeReportsConditionsOnBenignInstance) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 30;
+  cfg.seed = 33;
+  cfg.alpha_lo = cfg.alpha_hi = 0.5;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt isrpt;
+  const auto alg = record(inst, isrpt);
+  // Reference: the best single policy trace — use Sequential-SRPT.
+  SequentialSrpt seq;
+  const auto ref = record(inst, seq);
+  const PotentialReport rep =
+      analyze_potential(alg, ref, 4, inst.P(), 0.5);
+  EXPECT_GT(rep.intervals, 0u);
+  // Boundary: Phi starts and ends at 0.
+  EXPECT_NEAR(rep.phi_start, 0.0, 1e-6);
+  EXPECT_NEAR(rep.phi_end, 0.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(rep.c_continuous));
+}
+
+// ------------------------------------------------------- potential flux
+
+TEST(PotentialFluxTest, HandComputedDecomposition) {
+  // ALG: job runs alone on 1 of 2 machines, rate 1; REF finished it
+  // instantly-ish (2 machines from 0). At t where z > 0:
+  //   opt_side = 0 (REF done), alg_side = -16 * 1 / Γ(2/1).
+  Instance inst(2, {make_job(0, 0.0, 4.0, 0.5)});
+  Plan alg_plan;
+  alg_plan.add(0, 0.0, 4.0, 1.0);
+  Plan ref_plan;
+  ref_plan.add(0, 0.0, 4.0, 2.0);  // rate 2^0.5, done at 4/sqrt(2)
+  const auto at = ScheduleTrajectories::from_plan(inst, alg_plan);
+  const auto rt = ScheduleTrajectories::from_plan(inst, ref_plan);
+  const double t = 3.5;  // REF done (2.83), ALG still running, z > 0
+  const PotentialFlux flux = potential_flux_at(at, rt, 2, t);
+  EXPECT_NEAR(flux.opt_side, 0.0, 1e-12);
+  EXPECT_NEAR(flux.alg_side, -16.0 / std::sqrt(2.0), 1e-9);
+  // While REF is still running (t = 1), z = rate difference accumulated:
+  // opt_side = 16 * sqrt(2) / Γ(2), alg_side = -16 * 1 / Γ(2).
+  const PotentialFlux early = potential_flux_at(at, rt, 2, 1.0);
+  EXPECT_NEAR(early.opt_side, 16.0 * std::sqrt(2.0) / std::sqrt(2.0),
+              1e-9);
+  EXPECT_NEAR(early.alg_side, -16.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(PotentialFluxTest, Lemma9WindowSatisfied) {
+  // Force the Lemma-9 preconditions: 8 sequential jobs; REF finishes all
+  // by t = 8; a deliberately lazy ALG plan only starts at t = 20, then
+  // processes m = 4 jobs at unit rate. In (20, 24): |A| = 8 >= m,
+  // |OPT| = 0 <= m/16, and the ALG-side decrease is 16 * 4 = 64 <= -4m.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(make_job(i, 0.0, 4.0, 0.0));
+  Instance inst(4, jobs);
+  Plan ref_plan, alg_plan;
+  for (int i = 0; i < 8; ++i) {
+    ref_plan.add(i, i < 4 ? 0.0 : 4.0, i < 4 ? 4.0 : 8.0, 1.0);
+    alg_plan.add(i, i < 4 ? 20.0 : 24.0, i < 4 ? 24.0 : 28.0, 1.0);
+  }
+  const auto at = ScheduleTrajectories::from_plan(inst, alg_plan);
+  const auto rt = ScheduleTrajectories::from_plan(inst, ref_plan);
+  const PotentialFlux flux = potential_flux_at(at, rt, 4, 22.0);
+  EXPECT_NEAR(flux.opt_side, 0.0, 1e-12);
+  EXPECT_NEAR(flux.alg_side, -64.0, 1e-9);  // 4 jobs, Γ(4/rank) = 1
+  const PotentialReport rep = analyze_potential(at, rt, 4, 4.0, 0.0);
+  EXPECT_GT(rep.lemma9_intervals, 0u);
+  EXPECT_GE(rep.lemma9_min_ratio, 1.0);  // Lemma 9: decrease <= -4m
+  EXPECT_LE(rep.decomposition_residual, 1e-6);
+}
+
+// ------------------------------------------------------------ local comp
+
+TEST(LocalComp, VolumeByClassHandComputed) {
+  Instance inst(2, {make_job(0, 0.0, 0.5, 0.5), make_job(1, 0.0, 3.0, 0.5),
+                    make_job(2, 0.0, 8.0, 0.5)});
+  // Build trajectories from a plan frozen at t=0+ (nothing processed yet
+  // in [0, small]): use a plan that idles first.
+  Plan plan;
+  plan.add(0, 1.0, 2.0, 1.0);
+  plan.add(1, 1.0, 4.0, 1.0);
+  plan.add(2, 4.0, 12.0, 1.0);
+  const auto st = ScheduleTrajectories::from_plan(inst, plan);
+  // At t = 0.5: remaining = {0.5, 3, 8}: classes {-1, 1, 3}.
+  EXPECT_NEAR(volume_classes_at_most(st, 0.5, -1), 0.5, 1e-9);
+  EXPECT_NEAR(volume_classes_at_most(st, 0.5, 0), 0.5, 1e-9);
+  EXPECT_NEAR(volume_classes_at_most(st, 0.5, 1), 3.5, 1e-9);
+  EXPECT_NEAR(volume_classes_at_most(st, 0.5, 3), 11.5, 1e-9);
+}
+
+TEST(LocalComp, Lemma1HoldsForIsrptOnOverloadedInstance) {
+  // Heavily overloaded: many jobs, few machines.
+  RandomWorkloadConfig cfg;
+  cfg.machines = 2;
+  cfg.jobs = 60;
+  cfg.load = 3.0;  // overload
+  cfg.seed = 17;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt isrpt;
+  const auto alg = record(inst, isrpt);
+  SequentialSrpt seq;
+  const auto ref = record(inst, seq);
+  const LocalCompReport rep =
+      check_local_competitiveness(alg, ref, 2, inst.P());
+  EXPECT_GT(rep.samples, 0u);
+  EXPECT_GT(rep.overloaded_samples, 0u);
+  // Lemmas 1, 4 and 5 hold pointwise (ratio <= 1) for ISRPT.
+  EXPECT_LE(rep.lemma1_worst, 1.0 + 1e-9);
+  EXPECT_LE(rep.lemma4_worst, 1.0 + 1e-9);
+  EXPECT_LE(rep.lemma5_worst, 1.0 + 1e-9);
+  EXPECT_GT(rep.lemma5_worst, 0.0);
+}
+
+TEST(LocalComp, CountClassesBetweenHandComputed) {
+  Instance inst(2, {make_job(0, 0.0, 0.5, 0.5), make_job(1, 0.0, 3.0, 0.5),
+                    make_job(2, 0.0, 8.0, 0.5)});
+  Plan plan;
+  plan.add(0, 1.0, 2.0, 1.0);
+  plan.add(1, 1.0, 4.0, 1.0);
+  plan.add(2, 4.0, 12.0, 1.0);
+  const auto st = ScheduleTrajectories::from_plan(inst, plan);
+  // At t = 0.5: remaining {0.5, 3, 8}: classes {-1, 1, 3}.
+  EXPECT_EQ(count_classes_between(st, 0.5, 0, 10), 2u);
+  EXPECT_EQ(count_classes_between(st, 0.5, -1, 10), 3u);
+  EXPECT_EQ(count_classes_between(st, 0.5, 2, 3), 1u);
+  EXPECT_EQ(count_classes_between(st, 0.5, 4, 9), 0u);
+}
+
+}  // namespace
+}  // namespace parsched

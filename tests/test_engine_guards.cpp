@@ -1,0 +1,118 @@
+// Engine guard rails and EngineView queries.
+#include <gtest/gtest.h>
+
+#include "sched/intermediate_srpt.hpp"
+#include "simcore/engine.hpp"
+#include "util/mathx.hpp"
+
+namespace parsched {
+namespace {
+
+Job make_job(JobId id, double release, double size, double alpha) {
+  Job j;
+  j.id = id;
+  j.release = release;
+  j.size = size;
+  j.curve = SpeedupCurve::power_law(alpha);
+  return j;
+}
+
+// A policy that spins: re-decides constantly without progress risk —
+// exercises the max_decisions guard.
+class SpinScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Spin"; }
+  Allocation allocate(const SchedulerContext& ctx) override {
+    Allocation a;
+    a.shares.assign(ctx.alive().size(), 0.0);
+    if (!a.shares.empty()) a.shares[0] = 1e-9;  // glacial progress
+    a.reconsider_at = ctx.time() + 1e-9;
+    return a;
+  }
+};
+
+TEST(EngineGuards, MaxDecisionsAborts) {
+  Instance inst(1, {make_job(0, 0.0, 1.0, 0.5)});
+  SpinScheduler sched;
+  EngineConfig cfg;
+  cfg.max_decisions = 1000;
+  EXPECT_THROW((void)simulate(inst, sched, cfg), std::runtime_error);
+}
+
+// A probing source that asserts EngineView invariants mid-run.
+class ProbeSource final : public ArrivalSource {
+ public:
+  double next_time(const EngineView& view) override {
+    if (released_ >= 2) {
+      // After both arrivals: probe the tag queries once jobs are alive.
+      if (view.alive_count() == 2) {
+        probed_ = true;
+        probe_remaining_ = view.remaining_tagged(JobTag::Class::kShort, 0);
+        probe_count_ = view.alive_tagged(JobTag::Class::kLong, -1);
+        completed_before_ = view.is_completed(0);
+      }
+      return kInf;
+    }
+    return static_cast<double>(released_);
+  }
+
+  std::vector<Job> take(double t, const EngineView& view) override {
+    (void)view;
+    Job j = make_job(static_cast<JobId>(released_), t, 2.0, 0.5);
+    j.tag = released_ == 0 ? JobTag{0, JobTag::Class::kShort, 0}
+                           : JobTag{1, JobTag::Class::kLong, 0};
+    ++released_;
+    return {j};
+  }
+
+  void reset() override { released_ = 0; }
+
+  bool probed_ = false;
+  double probe_remaining_ = -1.0;
+  std::size_t probe_count_ = 99;
+  bool completed_before_ = true;
+  int released_ = 0;
+};
+
+TEST(EngineGuards, EngineViewQueriesAreConsistent) {
+  ProbeSource source;
+  IntermediateSrpt sched;
+  Engine engine(2);
+  const SimResult r = engine.run(sched, source);
+  EXPECT_EQ(r.jobs(), 2u);
+  ASSERT_TRUE(source.probed_);
+  // Both jobs alive when probed: the short-tagged one has <= 2.0 left.
+  EXPECT_GT(source.probe_remaining_, 0.0);
+  EXPECT_LE(source.probe_remaining_, 2.0);
+  EXPECT_EQ(source.probe_count_, 1u);      // one long-tagged job, any phase
+  EXPECT_FALSE(source.completed_before_);  // job 0 not done at probe time
+}
+
+TEST(EngineGuards, IsCompletedFlipsAfterCompletion) {
+  // Source releases job 1 only after observing job 0 completed.
+  class GateSource final : public ArrivalSource {
+   public:
+    double next_time(const EngineView& view) override {
+      if (stage_ == 0) return 0.0;
+      if (stage_ == 1) return view.is_completed(0) ? view.time() : kInf;
+      return kInf;
+    }
+    std::vector<Job> take(double t, const EngineView& view) override {
+      (void)view;
+      ++stage_;
+      return {make_job(static_cast<JobId>(stage_ - 1), t, 1.0, 0.5)};
+    }
+    void reset() override { stage_ = 0; }
+    int stage_ = 0;
+  };
+  GateSource source;
+  IntermediateSrpt sched;
+  Engine engine(1);
+  const SimResult r = engine.run(sched, source);
+  ASSERT_EQ(r.jobs(), 2u);
+  EXPECT_NEAR(r.records[0].completion, 1.0, 1e-9);
+  EXPECT_NEAR(r.records[1].completion, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,203 @@
+// End-to-end integration tests: small-scale versions of the paper's
+// headline claims, wired through the same code paths the benches use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/competitive.hpp"
+#include "analysis/local_comp.hpp"
+#include "analysis/potential.hpp"
+#include "analysis/trajectories.hpp"
+#include "sched/greedy_hybrid.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/opt/portfolio.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/trajectory.hpp"
+#include "workload/adversary.hpp"
+#include "workload/greedy_killer.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+/// Run a policy against the adaptive adversary; return (alg flow, best
+/// feasible flow including the standard plan and the policy portfolio).
+struct AdversaryRun {
+  double alg_flow = 0.0;
+  double opt_upper = 0.0;
+  double opt_lower = 0.0;
+  bool case1 = false;
+};
+
+AdversaryRun run_adversary(const std::string& policy,
+                           const AdversaryConfig& cfg) {
+  AdversarySource source(cfg);
+  auto sched = make_scheduler(policy);
+  Engine engine(cfg.machines);
+  const SimResult alg = engine.run(*sched, source);
+  const Instance realized(cfg.machines, alg.realized_jobs());
+  const Plan plan =
+      adversary_standard_plan(realized, cfg, source.outcome());
+  const OptEstimate est = estimate_opt(realized, {{"standard", plan}});
+  AdversaryRun out;
+  out.alg_flow = alg.total_flow;
+  out.opt_upper = est.upper;
+  out.opt_lower = est.lower;
+  out.case1 = source.outcome().case1;
+  return out;
+}
+
+// Theorem 2 mechanics (small scale): with the full-length stream the
+// online algorithm carries its long-job backlog through the entire part 2
+// and its flow measurably exceeds the best feasible schedule.
+TEST(Integration, AdversaryOpensGapAgainstIsrptWithFullStream) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = cfg.P * cfg.P;  // the paper's X = P^2
+  const AdversaryRun run = run_adversary("isrpt", cfg);
+  EXPECT_GT(run.alg_flow, 1.15 * run.opt_upper)
+      << "adversary failed to separate ISRPT from the feasible schedule";
+  EXPECT_GE(run.opt_upper, run.opt_lower - 1e-9);
+}
+
+// The adversary hurts every policy (Theorem 2 is algorithm-independent).
+// OPT is upper-bounded cheaply by min(standard plan, ISRPT's own flow) —
+// both feasible schedules — to keep the test fast at the full stream
+// length X = P^2, which is what opens the gap.
+TEST(Integration, AdversaryHurtsEveryPolicy) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = cfg.P * cfg.P;
+  for (const std::string policy : {"isrpt", "seq-srpt", "equi"}) {
+    AdversarySource source(cfg);
+    auto sched = make_scheduler(policy);
+    Engine engine(cfg.machines);
+    const SimResult alg = engine.run(*sched, source);
+    const Instance realized(cfg.machines, alg.realized_jobs());
+    const Plan plan =
+        adversary_standard_plan(realized, cfg, source.outcome());
+    double opt_upper = execute_plan(realized, plan).total_flow;
+    IntermediateSrpt isrpt;
+    opt_upper = std::min(opt_upper, simulate(realized, isrpt).total_flow);
+    EXPECT_GT(alg.total_flow, opt_upper * 1.05) << policy;
+  }
+}
+
+// Lemma 10 at small scale: Greedy's ratio on the killer instance exceeds
+// Intermediate-SRPT's by a growing margin.
+TEST(Integration, GreedyKillerSeparatesGreedyFromIsrpt) {
+  GreedyKillerConfig cfg;
+  cfg.machines = 25;  // k = 5
+  cfg.alpha = 0.5;
+  cfg.stream_time = 625.0;  // m^2
+  const GreedyKillerInstance gk = make_greedy_killer(cfg);
+  const Plan alt = greedy_killer_alternative_plan(gk);
+  const double opt_ub = std::min(
+      execute_plan(gk.instance, alt).total_flow,
+      run_portfolio(gk.instance).best_flow);
+
+  GreedyHybrid greedy;
+  IntermediateSrpt isrpt;
+  const double greedy_ratio =
+      simulate(gk.instance, greedy).total_flow / opt_ub;
+  const double isrpt_ratio =
+      simulate(gk.instance, isrpt).total_flow / opt_ub;
+  EXPECT_GT(greedy_ratio, 2.0 * isrpt_ratio)
+      << "greedy=" << greedy_ratio << " isrpt=" << isrpt_ratio;
+}
+
+// Theorem 1 sanity: ISRPT's measured ratio (vs the provable lower bound,
+// an over-estimate of the truth) stays within the theorem's envelope on
+// random instances.
+TEST(Integration, IsrptWithinTheoremEnvelopeOnRandomInstances) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomWorkloadConfig cfg;
+    cfg.machines = 6;
+    cfg.jobs = 120;
+    cfg.P = 64.0;
+    cfg.alpha_lo = cfg.alpha_hi = 0.5;
+    cfg.load = 1.1;
+    cfg.seed = seed;
+    const Instance inst = make_random_instance(cfg);
+    IntermediateSrpt sched;
+    const CompetitiveReport rep = compare_to_opt(inst, sched);
+    EXPECT_LE(rep.ratio_ub(), theorem1_envelope(0.5, inst.P()))
+        << "seed " << seed;
+  }
+}
+
+// Potential function end-to-end: on an adversary run, the Boundary and
+// Discontinuous-Change conditions hold with ISRPT vs the standard plan.
+TEST(Integration, PotentialConditionsOnAdversaryInstance) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = 64.0;
+  AdversarySource source(cfg);
+  IntermediateSrpt sched;
+  Engine engine(cfg.machines);
+  TrajectoryRecorder rec;
+  engine.add_observer(&rec);
+  const SimResult alg = engine.run(sched, source);
+  const Instance realized(cfg.machines, alg.realized_jobs());
+  const Plan plan =
+      adversary_standard_plan(realized, cfg, source.outcome());
+  const auto at = ScheduleTrajectories::from_recorder(rec);
+  const auto rt = ScheduleTrajectories::from_plan(realized, plan);
+  const PotentialReport rep =
+      analyze_potential(at, rt, cfg.machines, cfg.P, cfg.alpha);
+  EXPECT_NEAR(rep.phi_start, 0.0, 1e-6);
+  EXPECT_NEAR(rep.phi_end, 0.0, 1e-6);
+  EXPECT_GT(rep.intervals, 100u);
+  EXPECT_TRUE(std::isfinite(rep.c_continuous));
+}
+
+// Local competitiveness end-to-end on the same pairing.
+TEST(Integration, LocalCompetitivenessOnAdversaryInstance) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = 64.0;
+  AdversarySource source(cfg);
+  IntermediateSrpt sched;
+  Engine engine(cfg.machines);
+  TrajectoryRecorder rec;
+  engine.add_observer(&rec);
+  const SimResult alg = engine.run(sched, source);
+  const Instance realized(cfg.machines, alg.realized_jobs());
+  const Plan plan =
+      adversary_standard_plan(realized, cfg, source.outcome());
+  const auto at = ScheduleTrajectories::from_recorder(rec);
+  const auto rt = ScheduleTrajectories::from_plan(realized, plan);
+  const LocalCompReport rep =
+      check_local_competitiveness(at, rt, cfg.machines, cfg.P);
+  EXPECT_GT(rep.overloaded_samples, 0u);
+  EXPECT_LE(rep.lemma1_worst, 1.0 + 1e-9);
+  EXPECT_LE(rep.lemma4_worst, 1.0 + 1e-9);
+  EXPECT_LE(rep.lemma5_worst, 1.0 + 1e-9);
+}
+
+// The alpha = 1 edge: Parallel-SRPT is exactly optimal, and the portfolio
+// agrees (its best flow equals the relaxation lower bound).
+TEST(Integration, AlphaOneCollapsesTheSandwich) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 8;
+  cfg.jobs = 80;
+  cfg.alpha_lo = cfg.alpha_hi = 1.0;
+  cfg.seed = 5;
+  const Instance inst = make_random_instance(cfg);
+  const OptEstimate est = estimate_opt(inst);
+  EXPECT_NEAR(est.upper, est.lower, 1e-6 * est.lower)
+      << "at alpha=1 Parallel-SRPT must close the sandwich";
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,151 @@
+// Instance text (de)serialization: round trips, format details, errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sched/intermediate_srpt.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/io.hpp"
+#include "workload/adversary.hpp"
+#include "workload/phased.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+Instance round_trip(const Instance& inst) {
+  std::stringstream ss;
+  write_instance(ss, inst);
+  return read_instance(ss);
+}
+
+void expect_same(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.machines(), b.machines());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Job& ja = a.jobs()[i];
+    const Job& jb = b.jobs()[i];
+    EXPECT_EQ(ja.id, jb.id);
+    EXPECT_DOUBLE_EQ(ja.release, jb.release);
+    EXPECT_DOUBLE_EQ(ja.size, jb.size);
+    EXPECT_DOUBLE_EQ(ja.weight, jb.weight);
+    EXPECT_TRUE(ja.curve == jb.curve) << i;
+    EXPECT_EQ(ja.tag, jb.tag);
+    ASSERT_EQ(ja.phases.size(), jb.phases.size());
+    for (std::size_t p = 0; p < ja.phases.size(); ++p) {
+      EXPECT_DOUBLE_EQ(ja.phases[p].work, jb.phases[p].work);
+      EXPECT_TRUE(ja.phases[p].curve == jb.phases[p].curve);
+    }
+  }
+}
+
+TEST(InstanceIo, RoundTripsRandomInstance) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 8;
+  cfg.jobs = 50;
+  cfg.alpha_law = AlphaLaw::kMixed;
+  cfg.seed = 13;
+  const Instance inst = make_random_instance(cfg);
+  expect_same(inst, round_trip(inst));
+}
+
+TEST(InstanceIo, RoundTripsPhasedInstance) {
+  PhasedWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 20;
+  cfg.seed = 7;
+  const Instance inst = make_phased_instance(cfg);
+  expect_same(inst, round_trip(inst));
+}
+
+TEST(InstanceIo, RoundTripsAdversaryRealizedInstanceWithTags) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = 8.0;
+  AdversarySource source(cfg);
+  IntermediateSrpt sched;
+  Engine engine(cfg.machines);
+  const SimResult r = engine.run(sched, source);
+  const Instance realized(cfg.machines, r.realized_jobs());
+  expect_same(realized, round_trip(realized));
+}
+
+TEST(InstanceIo, RoundTripPreservesSimulationResults) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 40;
+  cfg.seed = 3;
+  const Instance inst = make_random_instance(cfg);
+  const Instance copy = round_trip(inst);
+  IntermediateSrpt sched;
+  EXPECT_DOUBLE_EQ(simulate(inst, sched).total_flow,
+                   simulate(copy, sched).total_flow);
+}
+
+TEST(InstanceIo, ParsesHandWrittenFormat) {
+  std::stringstream ss(R"(# a comment
+parsched-instance 1
+machines 4
+job 0 0.0 size 8 pow 0.5
+job 1 1.5 size 2 seq tag 3 short 7
+job 2 2.0 phases 2 4 par 2 seq
+)");
+  const Instance inst = read_instance(ss);
+  EXPECT_EQ(inst.machines(), 4);
+  ASSERT_EQ(inst.size(), 3u);
+  EXPECT_DOUBLE_EQ(inst.jobs()[0].size, 8.0);
+  EXPECT_EQ(inst.jobs()[1].tag.cls, JobTag::Class::kShort);
+  EXPECT_EQ(inst.jobs()[1].tag.phase, 3);
+  EXPECT_EQ(inst.jobs()[1].tag.index, 7);
+  EXPECT_EQ(inst.jobs()[2].phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst.jobs()[2].size, 6.0);
+}
+
+TEST(InstanceIo, RejectsMalformedInput) {
+  auto expect_parse_error = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW((void)read_instance(ss), std::runtime_error) << text;
+  };
+  expect_parse_error("not-a-header\n");
+  expect_parse_error("parsched-instance 1\nmachines 4\n");  // no jobs
+  expect_parse_error(
+      "parsched-instance 1\nmachines 4\njob 0 0.0 size 8 pow\n");
+  expect_parse_error(
+      "parsched-instance 1\nmachines 4\njob 0 0.0 size 8 wavy\n");
+  expect_parse_error(
+      "parsched-instance 1\nmachines 4\njob 0 0.0 size 8 seq banana\n");
+  expect_parse_error(
+      "parsched-instance 1\nmachines 4\njob 0 0.0 size 8 seq tag 0 huge 0\n");
+}
+
+TEST(InstanceIo, PwlCurvesRoundTrip) {
+  std::stringstream ss(R"(parsched-instance 1
+machines 2
+job 0 0 size 4 pwl 2 2 1.5 8 3
+)");
+  const Instance inst = read_instance(ss);
+  EXPECT_DOUBLE_EQ(inst.jobs()[0].curve.rate(2.0), 1.5);
+  EXPECT_DOUBLE_EQ(inst.jobs()[0].curve.rate(8.0), 3.0);
+  // And back out: write -> read preserves the curve.
+  const Instance again = round_trip(inst);
+  EXPECT_TRUE(inst.jobs()[0].curve == again.jobs()[0].curve);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  RandomWorkloadConfig cfg;
+  cfg.jobs = 10;
+  cfg.seed = 5;
+  const Instance inst = make_random_instance(cfg);
+  const std::string path = "test_io_instance.txt";
+  write_instance_file(path, inst);
+  const Instance back = read_instance_file(path);
+  expect_same(inst, back);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_instance_file("definitely-missing.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,199 @@
+// OPT estimation: relaxation lower bounds, plan execution, portfolio.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/opt/plan.hpp"
+#include "sched/opt/portfolio.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "sched/parallel_srpt.hpp"
+#include "simcore/engine.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+Job make_job(JobId id, double release, double size, double alpha) {
+  Job j;
+  j.id = id;
+  j.release = release;
+  j.size = size;
+  j.curve = SpeedupCurve::power_law(alpha);
+  return j;
+}
+
+// --------------------------------------------------------- relaxations
+
+TEST(Relaxations, SrptSpeedMHandComputed) {
+  // m = 2 (speed-2 machine), sizes {1, 2} at t=0.
+  // SRPT: job1 done at 0.5 (flow .5), job2 at 1.5 (flow 1.5): total 2.
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 2.0, 0.5)});
+  EXPECT_NEAR(srpt_speed_m_lower_bound(inst), 2.0, 1e-9);
+}
+
+TEST(Relaxations, SrptSpeedMWithArrivalPreemption) {
+  // m = 1. Long job (4) at 0; short (1) at 1.
+  // SRPT: long runs [0,1] (rem 3); short [1,2] flow 1; long done at 5.
+  Instance inst(1, {make_job(0, 0.0, 4.0, 0.5), make_job(1, 1.0, 1.0, 0.5)});
+  EXPECT_NEAR(srpt_speed_m_lower_bound(inst), 5.0 + 1.0, 1e-9);
+}
+
+TEST(Relaxations, SrptSpeedMIdleGap) {
+  Instance inst(2, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 10.0, 2.0, 0.5)});
+  EXPECT_NEAR(srpt_speed_m_lower_bound(inst), 2.0, 1e-9);
+}
+
+TEST(Relaxations, SpanBound) {
+  // m = 4, alpha = 0.5: Γ(4) = 2. sizes 2 and 6 -> 1 + 3 = 4.
+  Instance inst(4, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.0, 6.0, 0.5)});
+  EXPECT_NEAR(span_lower_bound(inst), 4.0, 1e-9);
+}
+
+TEST(Relaxations, CombinedBoundTakesMax) {
+  Instance inst(4, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.0, 6.0, 0.5)});
+  EXPECT_NEAR(opt_lower_bound(inst),
+              std::max(srpt_speed_m_lower_bound(inst),
+                       span_lower_bound(inst)),
+              1e-12);
+}
+
+// Parallel-SRPT achieves the relaxation exactly when every job is fully
+// parallelizable — the cleanest possible cross-validation of both the
+// engine and the bound (Parallel-SRPT has ratio 1 at alpha = 1).
+class ParSrptOptimalityTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ParSrptOptimalityTest, MatchesSpeedMSrptExactly) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 8;
+  cfg.jobs = 60;
+  cfg.alpha_law = AlphaLaw::kFixed;
+  cfg.alpha_lo = 1.0;  // fully parallel
+  cfg.alpha_hi = 1.0;
+  cfg.seed = GetParam();
+  const Instance inst = make_random_instance(cfg);
+  ParallelSrpt sched;
+  const double alg = simulate(inst, sched).total_flow;
+  const double lb = srpt_speed_m_lower_bound(inst);
+  EXPECT_NEAR(alg, lb, 1e-6 * lb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParSrptOptimalityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----------------------------------------------------------------- plan
+
+TEST(Plan, ExecutesSimpleSchedule) {
+  Instance inst(2, {make_job(0, 0.0, 4.0, 0.5), make_job(1, 0.0, 2.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 4.0, 1.0);
+  plan.add(1, 0.0, 2.0, 1.0);
+  const SimResult r = execute_plan(inst, plan);
+  EXPECT_NEAR(r.total_flow, 6.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 4.0, 1e-9);
+}
+
+TEST(Plan, AppliesSpeedupCurveToShares) {
+  // 4 machines on an alpha=0.5 job: rate 2; size 4 -> completes at 2.
+  Instance inst(4, {make_job(0, 0.0, 4.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 10.0, 4.0);  // over-provisioned: truncated at completion
+  const SimResult r = execute_plan(inst, plan);
+  EXPECT_NEAR(r.records[0].completion, 2.0, 1e-9);
+}
+
+TEST(Plan, CompletionInsideSegmentWithPriorWork) {
+  Instance inst(1, {make_job(0, 0.0, 3.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 2.0, 1.0);  // 2 units done
+  plan.add(0, 5.0, 9.0, 1.0);  // finishes 1 unit into this segment
+  const SimResult r = execute_plan(inst, plan);
+  EXPECT_NEAR(r.records[0].completion, 6.0, 1e-9);
+}
+
+TEST(Plan, RejectsOvercommit) {
+  Instance inst(1, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.0, 2.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 2.0, 1.0);
+  plan.add(1, 0.0, 2.0, 1.0);  // 2 shares on 1 machine
+  EXPECT_THROW((void)execute_plan(inst, plan), InfeasiblePlan);
+}
+
+TEST(Plan, RejectsWorkBeforeRelease) {
+  Instance inst(1, {make_job(0, 5.0, 1.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 1.0, 1.0);
+  EXPECT_THROW((void)execute_plan(inst, plan), InfeasiblePlan);
+}
+
+TEST(Plan, RejectsUnfinishedJob) {
+  Instance inst(1, {make_job(0, 0.0, 5.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 1.0, 1.0);  // only 1 of 5 units
+  EXPECT_THROW((void)execute_plan(inst, plan), InfeasiblePlan);
+}
+
+TEST(Plan, RejectsMissingJob) {
+  Instance inst(1, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 1.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 1.0, 1.0);
+  EXPECT_THROW((void)execute_plan(inst, plan), InfeasiblePlan);
+}
+
+TEST(Plan, RejectsOverlappingSegmentsOfOneJob) {
+  Instance inst(2, {make_job(0, 0.0, 4.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 3.0, 1.0);
+  plan.add(0, 2.0, 5.0, 1.0);
+  EXPECT_THROW((void)execute_plan(inst, plan), InfeasiblePlan);
+}
+
+TEST(Plan, BackToBackSegmentsAtFullCapacityAreFeasible) {
+  Instance inst(1, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 1.0, 1.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 1.0, 1.0);
+  plan.add(1, 1.0, 2.0, 1.0);
+  const SimResult r = execute_plan(inst, plan);
+  EXPECT_NEAR(r.total_flow, 2.0, 1e-9);
+}
+
+// ------------------------------------------------------------ portfolio
+
+TEST(Portfolio, BestIsMinimumOverPolicies) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 30;
+  cfg.seed = 11;
+  const Instance inst = make_random_instance(cfg);
+  const PortfolioResult pf = run_portfolio(inst);
+  ASSERT_FALSE(pf.flows.empty());
+  for (const auto& [name, flow] : pf.flows) {
+    EXPECT_LE(pf.best_flow, flow + 1e-9) << name;
+  }
+  EXPECT_TRUE(pf.flows.count(pf.best_name));
+}
+
+TEST(Portfolio, SandwichIsConsistent) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 40;
+  cfg.seed = 13;
+  const Instance inst = make_random_instance(cfg);
+  const OptEstimate est = estimate_opt(inst);
+  EXPECT_GT(est.lower, 0.0);
+  EXPECT_GE(est.upper, est.lower - 1e-9)
+      << "portfolio best fell below the provable lower bound";
+}
+
+TEST(Portfolio, PlansParticipate) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5)});
+  Plan plan;
+  plan.add(0, 0.0, 2.0, 2.0);  // 2 machines: rate 2^0.5, done ~0.707
+  const PortfolioResult pf = run_portfolio(inst, {{"hand", plan}});
+  ASSERT_TRUE(pf.flows.count("hand"));
+  EXPECT_NEAR(pf.flows.at("hand"), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(pf.best_flow, 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,180 @@
+// Precedence-constrained scheduling: DagInstance validation, the
+// PrecedenceSource release rule, lower bounds, and the DAG generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/equi.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/registry.hpp"
+#include "simcore/precedence.hpp"
+#include "workload/dag.hpp"
+
+namespace parsched {
+namespace {
+
+DagNode node(JobId id, double size, double alpha,
+             std::vector<JobId> deps = {}, double release = 0.0) {
+  DagNode n;
+  n.job.id = id;
+  n.job.release = release;
+  n.job.size = size;
+  n.job.curve = SpeedupCurve::power_law(alpha);
+  n.deps = std::move(deps);
+  return n;
+}
+
+// ------------------------------------------------------------ instance
+
+TEST(Dag, ValidatesAndTopoSorts) {
+  // Given out of order; constructor must topologically sort.
+  DagInstance dag(2, {node(2, 1.0, 0.5, {1}), node(1, 1.0, 0.5, {0}),
+                      node(0, 1.0, 0.5)});
+  ASSERT_EQ(dag.size(), 3u);
+  EXPECT_EQ(dag.nodes()[0].job.id, 0u);
+  EXPECT_EQ(dag.nodes()[2].job.id, 2u);
+}
+
+TEST(Dag, RejectsCycles) {
+  EXPECT_THROW(DagInstance(2, {node(0, 1.0, 0.5, {1}),
+                               node(1, 1.0, 0.5, {0})}),
+               std::invalid_argument);
+}
+
+TEST(Dag, RejectsSelfAndUnknownDeps) {
+  EXPECT_THROW(DagInstance(2, {node(0, 1.0, 0.5, {0})}),
+               std::invalid_argument);
+  EXPECT_THROW(DagInstance(2, {node(0, 1.0, 0.5, {7})}),
+               std::invalid_argument);
+  EXPECT_THROW(DagInstance(2, {node(0, 1.0, 0.5), node(0, 1.0, 0.5)}),
+               std::invalid_argument);
+}
+
+TEST(Dag, EarliestCompletionsChain) {
+  // Chain 0 -> 1 -> 2, sizes 4 each, alpha 0.5, m = 4 (rate 2 saturated).
+  DagInstance dag(4, {node(0, 4.0, 0.5), node(1, 4.0, 0.5, {0}),
+                      node(2, 4.0, 0.5, {1})});
+  const auto ec = dag.earliest_completions();
+  EXPECT_NEAR(ec.at(0), 2.0, 1e-12);
+  EXPECT_NEAR(ec.at(1), 4.0, 1e-12);
+  EXPECT_NEAR(ec.at(2), 6.0, 1e-12);
+  EXPECT_NEAR(dag.critical_path(), 6.0, 1e-12);
+  EXPECT_NEAR(dag.flow_lower_bound(), 2.0 + 4.0 + 6.0, 1e-12);
+}
+
+// --------------------------------------------------------------- source
+
+TEST(Dag, ChainRunsSequentially) {
+  DagInstance dag(4, {node(0, 4.0, 0.5), node(1, 4.0, 0.5, {0}),
+                      node(2, 4.0, 0.5, {1})});
+  IntermediateSrpt sched;
+  const SimResult r = simulate_dag(dag, sched);
+  ASSERT_EQ(r.jobs(), 3u);
+  // Each task runs alone on 4 machines: exactly the earliest completions.
+  EXPECT_NEAR(r.records[0].completion, 2.0, 1e-9);
+  EXPECT_NEAR(r.records[1].completion, 4.0, 1e-9);
+  EXPECT_NEAR(r.records[2].completion, 6.0, 1e-9);
+  EXPECT_NEAR(r.total_flow, dag.flow_lower_bound(), 1e-6);
+}
+
+TEST(Dag, ForkJoinReleasesBarrierAfterAllBranches) {
+  // Two branches (sizes 2 and 6) feed a barrier.
+  DagInstance dag(2, {node(0, 2.0, 0.0), node(1, 6.0, 0.0),
+                      node(2, 1.0, 0.0, {0, 1})});
+  Equi sched;
+  const SimResult r = simulate_dag(dag, sched);
+  // Branches run in parallel (1 machine each, sequential curve): done at
+  // 2 and 6; barrier starts at 6 with both machines (rate 1): done at 7.
+  EXPECT_NEAR(r.records[0].completion, 2.0, 1e-9);
+  EXPECT_NEAR(r.records[1].completion, 6.0, 1e-9);
+  EXPECT_NEAR(r.records[2].completion, 7.0, 1e-9);
+}
+
+TEST(Dag, ReleaseTimeAndDepsBothGate) {
+  // Task 1 depends on 0 (done at 1) but has nominal release 5 -> starts 5.
+  DagInstance dag(1, {node(0, 1.0, 0.0),
+                      node(1, 1.0, 0.0, {0}, /*release=*/5.0)});
+  IntermediateSrpt sched;
+  const SimResult r = simulate_dag(dag, sched);
+  EXPECT_NEAR(r.records[1].completion, 6.0, 1e-9);
+  // Flow measured from nominal release: 6 - 5 = 1.
+  EXPECT_NEAR(r.records[1].flow(), 1.0, 1e-9);
+}
+
+TEST(Dag, SlowPolicyDelaysSuccessors) {
+  // Under a policy that is slow on the branches, the barrier arrives
+  // later — the release rule follows the OBSERVED schedule.
+  DagInstance dag(2, {node(0, 4.0, 0.0), node(1, 4.0, 0.0),
+                      node(2, 1.0, 0.0, {0, 1})});
+  auto fast = make_scheduler("equi");      // both branches in parallel
+  auto slow = make_scheduler("par-srpt");  // one at a time (sequential!)
+  const SimResult rf = simulate_dag(dag, *fast);
+  const SimResult rs = simulate_dag(dag, *slow);
+  EXPECT_LT(rf.records[2].completion, rs.records[2].completion);
+}
+
+TEST(Dag, FlowNeverBeatsLowerBound) {
+  LayeredDagConfig cfg;
+  cfg.machines = 4;
+  cfg.layers = 4;
+  cfg.width = 6;
+  cfg.seed = 3;
+  const DagInstance dag = make_layered_dag(cfg);
+  for (const auto& name : standard_policy_names()) {
+    auto sched = make_scheduler(name);
+    const SimResult r = simulate_dag(dag, *sched);
+    EXPECT_EQ(r.jobs(), dag.size()) << name;
+    EXPECT_GE(r.total_flow, dag.flow_lower_bound() - 1e-6) << name;
+    EXPECT_GE(r.makespan, dag.critical_path() - 1e-6) << name;
+  }
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(DagGenerators, ForkJoinShape) {
+  ForkJoinConfig cfg;
+  cfg.pipelines = 2;
+  cfg.stages = 3;
+  cfg.branches = 4;
+  cfg.seed = 1;
+  const DagInstance dag = make_fork_join(cfg);
+  // Per pipeline: stages * (branches + 1 barrier).
+  EXPECT_EQ(dag.size(), 2u * 3u * 5u);
+  // Every barrier depends on exactly `branches` tasks.
+  std::size_t barriers = 0;
+  for (const DagNode& n : dag.nodes()) {
+    if (n.job.tag.cls == JobTag::Class::kLong) {
+      ++barriers;
+      EXPECT_EQ(n.deps.size(), 4u);
+    }
+  }
+  EXPECT_EQ(barriers, 6u);
+}
+
+TEST(DagGenerators, LayeredDagConnectivity) {
+  LayeredDagConfig cfg;
+  cfg.layers = 3;
+  cfg.width = 5;
+  cfg.edge_prob = 0.3;
+  cfg.seed = 7;
+  const DagInstance dag = make_layered_dag(cfg);
+  EXPECT_EQ(dag.size(), 15u);
+  // Every non-root-layer task has at least one dependency.
+  for (const DagNode& n : dag.nodes()) {
+    if (n.job.tag.phase > 0) {
+      EXPECT_FALSE(n.deps.empty());
+    }
+  }
+}
+
+TEST(DagGenerators, RejectBadConfigs) {
+  ForkJoinConfig fj;
+  fj.pipelines = 0;
+  EXPECT_THROW((void)make_fork_join(fj), std::invalid_argument);
+  LayeredDagConfig ld;
+  ld.edge_prob = 2.0;
+  EXPECT_THROW((void)make_layered_dag(ld), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,288 @@
+// Engine, instance, source, trajectory and result tests: the simulation
+// substrate everything else stands on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/equi.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/parallel_srpt.hpp"
+#include "sched/sequential_srpt.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/trajectory.hpp"
+#include "util/mathx.hpp"
+
+namespace parsched {
+namespace {
+
+Job make_job(JobId id, double release, double size, double alpha) {
+  Job j;
+  j.id = id;
+  j.release = release;
+  j.size = size;
+  j.curve = SpeedupCurve::power_law(alpha);
+  return j;
+}
+
+// ------------------------------------------------------------- instance
+
+TEST(Instance, SortsAndValidates) {
+  std::vector<Job> jobs{make_job(0, 5.0, 2.0, 0.5), make_job(1, 1.0, 8.0, 0.5)};
+  Instance inst(4, jobs);
+  EXPECT_EQ(inst.machines(), 4);
+  EXPECT_DOUBLE_EQ(inst.jobs().front().release, 1.0);
+  EXPECT_DOUBLE_EQ(inst.P(), 4.0);
+  EXPECT_DOUBLE_EQ(inst.total_work(), 10.0);
+  EXPECT_DOUBLE_EQ(inst.max_alpha(), 0.5);
+}
+
+TEST(Instance, RejectsBadInput) {
+  EXPECT_THROW(Instance(0, {make_job(0, 0, 1, 0.5)}), std::invalid_argument);
+  EXPECT_THROW(Instance(2, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(2, {make_job(0, -1, 1, 0.5)}), std::invalid_argument);
+  EXPECT_THROW(Instance(2, {make_job(0, 0, 0, 0.5)}), std::invalid_argument);
+  EXPECT_THROW(
+      Instance(2, {make_job(3, 0, 1, 0.5), make_job(3, 0, 1, 0.5)}),
+      std::invalid_argument);
+}
+
+TEST(Instance, AssignsMissingIds) {
+  std::vector<Job> jobs{make_job(kInvalidJob, 0.0, 1.0, 0.5),
+                        make_job(kInvalidJob, 1.0, 2.0, 0.5)};
+  Instance inst(2, jobs);
+  EXPECT_NE(inst.jobs()[0].id, inst.jobs()[1].id);
+}
+
+// --------------------------------------------------------------- engine
+
+TEST(Engine, SingleSequentialJobOnOneMachine) {
+  Instance inst(1, {make_job(0, 2.0, 5.0, 0.5)});
+  IntermediateSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  ASSERT_EQ(r.jobs(), 1u);
+  EXPECT_NEAR(r.records[0].completion, 7.0, 1e-9);
+  EXPECT_NEAR(r.total_flow, 5.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 7.0, 1e-9);
+}
+
+TEST(Engine, FullyParallelJobUsesWholePool) {
+  // Parallel-SRPT gives all m = 8 machines: rate 8, size 16 -> 2 time units.
+  Job j = make_job(0, 0.0, 16.0, 1.0);
+  Instance inst(8, {j});
+  ParallelSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  EXPECT_NEAR(r.records[0].completion, 2.0, 1e-9);
+}
+
+TEST(Engine, PowerLawRateAppliedToWholePool) {
+  // alpha = 0.5, m = 16 -> rate 4; size 8 -> 2 time units.
+  Instance inst(16, {make_job(0, 0.0, 8.0, 0.5)});
+  ParallelSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  EXPECT_NEAR(r.records[0].completion, 2.0, 1e-9);
+}
+
+TEST(Engine, UnderloadEquipartitionOfIntermediateSrpt) {
+  // Two jobs, m = 8, alpha = 0.5: each gets 4 machines -> rate 2.
+  Instance inst(8,
+                {make_job(0, 0.0, 4.0, 0.5), make_job(1, 0.0, 4.0, 0.5)});
+  IntermediateSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  ASSERT_EQ(r.jobs(), 2u);
+  EXPECT_NEAR(r.records[0].completion, 2.0, 1e-9);
+  EXPECT_NEAR(r.records[1].completion, 2.0, 1e-9);
+}
+
+TEST(Engine, OverloadOneMachineEach) {
+  // m = 2, three unit jobs, alpha irrelevant at share 1 (Γ(1) = 1).
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 2.0, 0.5),
+                    make_job(2, 0.0, 3.0, 0.5)});
+  IntermediateSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  // Shortest two run first; job0 done at 1, then job2 joins. After job1
+  // finishes at 2, job2 (remaining 2) holds both machines: rate 2^0.5.
+  EXPECT_NEAR(r.records[0].completion, 1.0, 1e-9);  // job 0
+  EXPECT_NEAR(r.records[1].completion, 2.0, 1e-9);  // job 1
+  EXPECT_NEAR(r.records[2].completion, 2.0 + 2.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Engine, ArrivalPreemptsViaSrpt) {
+  // Sequential-SRPT on m = 1: long job preempted by short arrival.
+  Instance inst(1, {make_job(0, 0.0, 10.0, 0.0), make_job(1, 2.0, 1.0, 0.0)});
+  SequentialSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  EXPECT_NEAR(r.records[0].completion, 3.0, 1e-9);   // short
+  EXPECT_NEAR(r.records[1].completion, 11.0, 1e-9);  // long
+  EXPECT_NEAR(r.total_flow, (3.0 - 2.0) + 11.0, 1e-9);
+}
+
+TEST(Engine, FractionalFlowAtMostTotalFlow) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(make_job(static_cast<JobId>(i), i * 0.3,
+                            1.0 + (i % 5), 0.5));
+  }
+  Instance inst(4, jobs);
+  IntermediateSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  EXPECT_LE(r.fractional_flow, r.total_flow + 1e-6);
+  EXPECT_GT(r.fractional_flow, 0.0);
+}
+
+TEST(Engine, IdleGapBetweenJobs) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 10.0, 1.0, 0.5)});
+  Equi sched;
+  const SimResult r = simulate(inst, sched);
+  // A lone job holds both machines: rate 2^{0.5}.
+  EXPECT_NEAR(r.records[0].completion, 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(r.records[1].completion, 10.0 + 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+// Misbehaving policies are rejected loudly.
+
+class ZeroScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Zero"; }
+  Allocation allocate(const SchedulerContext& ctx) override {
+    Allocation a;
+    a.shares.assign(ctx.alive().size(), 0.0);
+    return a;
+  }
+};
+
+class OvercommitScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Overcommit"; }
+  Allocation allocate(const SchedulerContext& ctx) override {
+    Allocation a;
+    a.shares.assign(ctx.alive().size(),
+                    static_cast<double>(ctx.machines()) + 1.0);
+    return a;
+  }
+};
+
+class PastReconsider final : public Scheduler {
+ public:
+  std::string name() const override { return "Past"; }
+  Allocation allocate(const SchedulerContext& ctx) override {
+    Allocation a;
+    a.shares.assign(ctx.alive().size(), 1.0);
+    a.reconsider_at = ctx.time() - 1.0;
+    return a;
+  }
+};
+
+TEST(Engine, DetectsStall) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5)});
+  ZeroScheduler sched;
+  EXPECT_THROW((void)simulate(inst, sched), SimulationStall);
+}
+
+TEST(Engine, RejectsOvercommit) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5)});
+  OvercommitScheduler sched;
+  EXPECT_THROW((void)simulate(inst, sched), std::logic_error);
+}
+
+TEST(Engine, RejectsPastReconsideration) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5)});
+  PastReconsider sched;
+  EXPECT_THROW((void)simulate(inst, sched), std::logic_error);
+}
+
+// ------------------------------------------------------------ observers
+
+TEST(Observers, CountTrackerMatchesArrivalsAndCompletions) {
+  Instance inst(1, {make_job(0, 0.0, 2.0, 0.0), make_job(1, 0.5, 2.0, 0.0)});
+  SequentialSrpt sched;
+  CountTracker tracker;
+  const SimResult r = simulate(inst, sched, {}, {&tracker});
+  (void)r;
+  const StepFunction& f = tracker.alive_count();
+  EXPECT_DOUBLE_EQ(f.value(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(1.0), 2.0);
+  // First job (shortest-remaining wins; both size 2, job0 leads) done at 2.
+  EXPECT_DOUBLE_EQ(f.value(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(10.0), 0.0);
+}
+
+TEST(Observers, TrajectoryIsExactPiecewiseLinear) {
+  // One job, one machine: remaining = size - t.
+  Instance inst(1, {make_job(0, 0.0, 4.0, 0.5)});
+  IntermediateSrpt sched;
+  TrajectoryRecorder rec;
+  (void)simulate(inst, sched, {}, {&rec});
+  EXPECT_NEAR(rec.remaining_at(0, 0.0), 4.0, 1e-9);
+  EXPECT_NEAR(rec.remaining_at(0, 1.0), 3.0, 1e-9);
+  EXPECT_NEAR(rec.remaining_at(0, 3.5), 0.5, 1e-9);
+  EXPECT_NEAR(rec.remaining_at(0, 5.0), 0.0, 1e-9);
+}
+
+TEST(Observers, TrajectoryUnderEquipartition) {
+  // Two identical jobs share m = 2 machines: each rate 1.
+  Instance inst(2, {make_job(0, 0.0, 3.0, 0.5), make_job(1, 0.0, 3.0, 0.5)});
+  Equi sched;
+  TrajectoryRecorder rec;
+  (void)simulate(inst, sched, {}, {&rec});
+  EXPECT_NEAR(rec.remaining_at(0, 1.5), 1.5, 1e-9);
+  EXPECT_NEAR(rec.remaining_at(1, 1.5), 1.5, 1e-9);
+}
+
+// ------------------------------------------------------------- results
+
+TEST(Result, TagAggregation) {
+  Job a = make_job(0, 0.0, 1.0, 0.5);
+  a.tag = {0, JobTag::Class::kShort, 0};
+  Job b = make_job(1, 0.0, 2.0, 0.5);
+  b.tag = {0, JobTag::Class::kLong, 0};
+  Instance inst(2, {a, b});
+  IntermediateSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  EXPECT_EQ(r.count_tagged(JobTag::Class::kShort), 1u);
+  EXPECT_EQ(r.count_tagged(JobTag::Class::kLong), 1u);
+  EXPECT_NEAR(r.flow_tagged(JobTag::Class::kShort), 1.0, 1e-9);
+  // Long job: one machine until t=1 (rem 1), then both at rate 2^{0.5}.
+  EXPECT_NEAR(r.flow_tagged(JobTag::Class::kLong),
+              1.0 + 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_EQ(r.realized_jobs().size(), 2u);
+}
+
+TEST(Result, MaxFlowAndAvgFlow) {
+  Instance inst(1, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 2.0, 0.5)});
+  SequentialSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  EXPECT_NEAR(r.max_flow(), 3.0, 1e-9);
+  EXPECT_NEAR(r.avg_flow(), (1.0 + 3.0) / 2.0, 1e-9);
+}
+
+// ------------------------------------------------------ scheduler ctx
+
+TEST(SchedulerContext, ByRemainingOrder) {
+  std::vector<AliveJob> alive(3);
+  alive[0].id = 0;
+  alive[0].remaining = 5.0;
+  alive[1].id = 1;
+  alive[1].remaining = 1.0;
+  alive[2].id = 2;
+  alive[2].remaining = 3.0;
+  SchedulerContext ctx(0.0, 4, alive);
+  const auto order = ctx.by_remaining();
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(SchedulerContext, ByLatestArrival) {
+  std::vector<AliveJob> alive(2);
+  alive[0].id = 0;
+  alive[0].release = 1.0;
+  alive[1].id = 1;
+  alive[1].release = 9.0;
+  SchedulerContext ctx(0.0, 4, alive);
+  const auto order = ctx.by_latest_arrival();
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,171 @@
+// Stress and robustness: determinism, simultaneous-event storms, extreme
+// parameters, and cross-feature composition (weights + phases + speed).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/trajectory.hpp"
+#include "util/rng.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+Job make_job(JobId id, double release, double size, double alpha) {
+  Job j;
+  j.id = id;
+  j.release = release;
+  j.size = size;
+  j.curve = SpeedupCurve::power_law(alpha);
+  return j;
+}
+
+TEST(Stress, EngineIsDeterministic) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 6;
+  cfg.jobs = 150;
+  cfg.load = 1.1;
+  cfg.seed = 99;
+  const Instance inst = make_random_instance(cfg);
+  for (const auto& name : standard_policy_names()) {
+    auto s1 = make_scheduler(name);
+    auto s2 = make_scheduler(name);
+    const SimResult a = simulate(inst, *s1);
+    const SimResult b = simulate(inst, *s2);
+    ASSERT_EQ(a.jobs(), b.jobs()) << name;
+    EXPECT_DOUBLE_EQ(a.total_flow, b.total_flow) << name;
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.records[i].completion, b.records[i].completion)
+          << name << " record " << i;
+    }
+  }
+}
+
+TEST(Stress, MassSimultaneousArrivals) {
+  // 200 jobs at exactly t = 0 plus 200 more at exactly t = 5.
+  std::vector<Job> jobs;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    jobs.push_back(make_job(static_cast<JobId>(i), i < 200 ? 0.0 : 5.0,
+                            rng.uniform(1.0, 4.0), 0.5));
+  }
+  Instance inst(8, jobs);
+  for (const char* name : {"isrpt", "equi", "greedy"}) {
+    auto sched = make_scheduler(name);
+    const SimResult r = simulate(inst, *sched);
+    EXPECT_EQ(r.jobs(), 400u) << name;
+    EXPECT_GE(r.total_flow, opt_lower_bound(inst) - 1e-6) << name;
+  }
+}
+
+TEST(Stress, IdenticalJobsBreakTiesDeterministically) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back(make_job(static_cast<JobId>(i), 0.0, 2.0, 0.5));
+  }
+  Instance inst(4, jobs);
+  auto s1 = make_scheduler("isrpt");
+  auto s2 = make_scheduler("isrpt");
+  const SimResult a = simulate(inst, *s1);
+  const SimResult b = simulate(inst, *s2);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].job.id, b.records[i].job.id);
+  }
+}
+
+TEST(Stress, HugeSizeRatio) {
+  // P = 1e6: class arithmetic and tolerances must hold up.
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5),
+                    make_job(1, 0.0, 1e6, 0.5),
+                    make_job(2, 0.5, 1.0, 0.5)});
+  auto sched = make_scheduler("isrpt");
+  const SimResult r = simulate(inst, *sched);
+  EXPECT_EQ(r.jobs(), 3u);
+  EXPECT_NEAR(r.records[0].completion, 1.0, 1e-6);
+  // The huge job eventually finishes with both machines most of the time.
+  EXPECT_GT(r.makespan, 1e5);
+}
+
+TEST(Stress, ManyTinyJobsNearMinimumSize) {
+  std::vector<Job> jobs;
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    jobs.push_back(make_job(static_cast<JobId>(i), i * 0.01,
+                            1.0 + rng.uniform01() * 1e-6, 0.5));
+  }
+  Instance inst(4, jobs);
+  auto sched = make_scheduler("isrpt");
+  const SimResult r = simulate(inst, *sched);
+  EXPECT_EQ(r.jobs(), 300u);
+}
+
+TEST(Stress, CompositionWeightsPhasesSpeed) {
+  // Weighted multi-phase jobs on an augmented-speed engine: everything
+  // composes and the accounting stays consistent.
+  std::vector<Job> jobs;
+  Rng rng(17);
+  for (int i = 0; i < 60; ++i) {
+    Job j = make_phased_job(
+        static_cast<JobId>(i), rng.uniform(0.0, 10.0),
+        {{rng.uniform(1.0, 4.0), SpeedupCurve::power_law(0.8)},
+         {rng.uniform(0.5, 2.0), SpeedupCurve::sequential()}});
+    j.weight = rng.uniform(1.0, 5.0);
+    jobs.push_back(std::move(j));
+  }
+  Instance inst(4, jobs);
+  EngineConfig ec;
+  ec.speed = 1.5;
+  auto sched = make_scheduler("wisrpt");
+  const SimResult r = simulate(inst, *sched, ec);
+  EXPECT_EQ(r.jobs(), 60u);
+  EXPECT_GT(r.weighted_flow, r.total_flow);  // weights > 1 on average
+  // At speed 1.5 the speed-1 span bound scaled by 1/1.5 still holds.
+  double scaled_span = 0.0;
+  for (const Job& j : inst.jobs()) {
+    for (const JobPhase& p : j.phases) {
+      scaled_span += p.work / (1.5 * p.curve.rate(4.0));
+    }
+  }
+  EXPECT_GE(r.total_flow, scaled_span - 1e-6);
+}
+
+TEST(Stress, ZeroLengthGapsBetweenPhases) {
+  // Many tiny phases: phase-transition events must not stall or lose work.
+  std::vector<JobPhase> phases;
+  for (int i = 0; i < 50; ++i) {
+    phases.push_back({0.1, i % 2 ? SpeedupCurve::sequential()
+                                 : SpeedupCurve::fully_parallel()});
+  }
+  Job j = make_phased_job(0, 0.0, phases);
+  Instance inst(2, {j});
+  auto sched = make_scheduler("equi");
+  const SimResult r = simulate(inst, *sched);
+  EXPECT_EQ(r.jobs(), 1u);
+  // 25 parallel phases at rate 2 (0.05 each) + 25 sequential at rate 1.
+  EXPECT_NEAR(r.records[0].completion, 25 * 0.05 + 25 * 0.1, 1e-6);
+}
+
+TEST(Stress, TrajectoryKnotsAreMonotoneInTime) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 120;
+  cfg.load = 1.3;
+  cfg.seed = 19;
+  const Instance inst = make_random_instance(cfg);
+  auto sched = make_scheduler("greedy");
+  TrajectoryRecorder rec;
+  (void)simulate(inst, *sched, {}, {&rec});
+  for (const auto& [id, jt] : rec.trajectories()) {
+    (void)id;
+    const auto& ts = jt.remaining.times();
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      ASSERT_LE(ts[i - 1], ts[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parsched

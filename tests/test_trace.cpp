@@ -1,0 +1,116 @@
+// AllocationTrace observer: segment recording, merging, utilization,
+// CSV export, Gantt rendering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/trace.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/sequential_srpt.hpp"
+#include "simcore/engine.hpp"
+
+namespace parsched {
+namespace {
+
+Job make_job(JobId id, double release, double size, double alpha) {
+  Job j;
+  j.id = id;
+  j.release = release;
+  j.size = size;
+  j.curve = SpeedupCurve::power_law(alpha);
+  return j;
+}
+
+TEST(Trace, SingleJobSingleSegment) {
+  Instance inst(1, {make_job(0, 0.0, 3.0, 0.5)});
+  IntermediateSrpt sched;
+  AllocationTrace trace;
+  (void)simulate(inst, sched, {}, {&trace});
+  ASSERT_EQ(trace.segments().size(), 1u);
+  const auto& s = trace.segments().front();
+  EXPECT_EQ(s.job, 0u);
+  EXPECT_NEAR(s.t0, 0.0, 1e-12);
+  EXPECT_NEAR(s.t1, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.share, 1.0);
+}
+
+TEST(Trace, MergesUnchangedAllocationsAcrossDecisions) {
+  // Two jobs, one machine: the running job's allocation is re-affirmed at
+  // the arrival decision point but must come out as one merged segment.
+  Instance inst(1, {make_job(0, 0.0, 4.0, 0.0), make_job(1, 1.0, 4.0, 0.0)});
+  SequentialSrpt sched;
+  AllocationTrace trace;
+  (void)simulate(inst, sched, {}, {&trace});
+  // job0 runs [0,4] (it stays shortest), job1 runs [4,8].
+  ASSERT_EQ(trace.segments().size(), 2u);
+  EXPECT_NEAR(trace.segments()[0].t1 - trace.segments()[0].t0, 4.0, 1e-9);
+  EXPECT_NEAR(trace.segments()[1].t1 - trace.segments()[1].t0, 4.0, 1e-9);
+}
+
+TEST(Trace, UtilizationTracksAllocatedShares) {
+  Instance inst(2, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.0, 2.0, 0.5)});
+  IntermediateSrpt sched;  // one machine each until both finish at 2
+  AllocationTrace trace;
+  (void)simulate(inst, sched, {}, {&trace});
+  const StepFunction u = trace.utilization();
+  EXPECT_NEAR(u.value(1.0), 2.0, 1e-9);
+  EXPECT_NEAR(trace.average_utilization(0.0, 2.0), 2.0, 1e-6);
+}
+
+TEST(Trace, PreemptionSplitsSegments) {
+  Instance inst(1, {make_job(0, 0.0, 4.0, 0.0), make_job(1, 1.0, 1.0, 0.0)});
+  SequentialSrpt sched;
+  AllocationTrace trace;
+  (void)simulate(inst, sched, {}, {&trace});
+  // job0: [0,1] and [2,5]; job1: [1,2].
+  std::size_t job0_segments = 0;
+  for (const auto& s : trace.segments()) {
+    if (s.job == 0) ++job0_segments;
+  }
+  EXPECT_EQ(job0_segments, 2u);
+}
+
+TEST(Trace, CsvHasHeaderAndAllSegments) {
+  Instance inst(1, {make_job(0, 0.0, 2.0, 0.5)});
+  IntermediateSrpt sched;
+  AllocationTrace trace;
+  (void)simulate(inst, sched, {}, {&trace});
+  const std::string path = "test_trace_out.csv";
+  trace.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "job,t0,t1,share");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, trace.segments().size());
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, GanttRendersEveryShownJob) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job(static_cast<JobId>(i), i * 0.5, 2.0, 0.5));
+  }
+  Instance inst(2, jobs);
+  IntermediateSrpt sched;
+  AllocationTrace trace;
+  (void)simulate(inst, sched, {}, {&trace});
+  std::ostringstream os;
+  trace.render_gantt(os, 40, 3);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("time 0 .."), std::string::npos);
+  EXPECT_NE(s.find("more jobs not shown"), std::string::npos);
+}
+
+TEST(Trace, EmptyTraceRendersGracefully) {
+  AllocationTrace trace;
+  std::ostringstream os;
+  trace.render_gantt(os);
+  EXPECT_NE(os.str().find("empty trace"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,372 @@
+// Unit tests for the util substrate: math helpers, RNG, statistics,
+// tables, options, and piecewise timelines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <cstdio>
+#include <fstream>
+
+#include "util/mathx.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timeline.hpp"
+
+namespace parsched {
+namespace {
+
+// ---------------------------------------------------------------- mathx
+
+TEST(Mathx, ApproxEqBasics) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0));
+  EXPECT_TRUE(approx_eq(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_eq(1.0, 1.001));
+  EXPECT_TRUE(approx_eq(1e12, 1e12 * (1.0 + 1e-12)));
+}
+
+TEST(Mathx, DefinitelyLess) {
+  EXPECT_TRUE(definitely_less(1.0, 2.0));
+  EXPECT_FALSE(definitely_less(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(definitely_less(2.0, 1.0));
+}
+
+TEST(Mathx, SizeClassMatchesPaperDefinition) {
+  // Remaining in [2^k, 2^{k+1}) -> class k; < 1 -> class -1.
+  EXPECT_EQ(size_class(0.5), -1);
+  EXPECT_EQ(size_class(0.999), -1);
+  EXPECT_EQ(size_class(1.0), 0);
+  EXPECT_EQ(size_class(1.999), 0);
+  EXPECT_EQ(size_class(2.0), 1);
+  EXPECT_EQ(size_class(3.999), 1);
+  EXPECT_EQ(size_class(4.0), 2);
+  EXPECT_EQ(size_class(1024.0), 10);
+}
+
+TEST(Mathx, NumSizeClasses) {
+  EXPECT_EQ(num_size_classes(1.0), 1);
+  EXPECT_EQ(num_size_classes(2.0), 1);
+  EXPECT_EQ(num_size_classes(8.0), 3);
+  EXPECT_EQ(num_size_classes(9.0), 4);
+}
+
+TEST(Mathx, LogInv) {
+  EXPECT_NEAR(log_inv(0.25, 16.0), 2.0, 1e-12);  // log_4 16
+  EXPECT_NEAR(log_inv(0.5, 8.0), 3.0, 1e-12);    // log_2 8
+}
+
+TEST(Mathx, AdversaryConstantsAlphaHalf) {
+  const auto c = adversary_constants(0.5);
+  EXPECT_DOUBLE_EQ(c.epsilon, 0.5);
+  // r = (1 - 2^{-1/2}) / 2.
+  EXPECT_NEAR(c.r, 0.5 * (1.0 - 1.0 / std::sqrt(2.0)), 1e-15);
+  const double two_eps = std::sqrt(2.0);
+  EXPECT_NEAR(c.kappa, (two_eps - 1.0) / (two_eps + 1.0), 1e-15);
+}
+
+TEST(Mathx, AdversaryConstantsSequential) {
+  const auto c = adversary_constants(0.0);
+  EXPECT_DOUBLE_EQ(c.epsilon, 1.0);
+  EXPECT_NEAR(c.r, 0.25, 1e-15);
+  EXPECT_NEAR(c.kappa, 1.0 / 3.0, 1e-15);
+}
+
+TEST(Mathx, Theorem1EnvelopeGrowsWithAlphaAndP) {
+  EXPECT_LT(theorem1_envelope(0.5, 64.0), theorem1_envelope(0.9, 64.0));
+  EXPECT_LT(theorem1_envelope(0.5, 64.0), theorem1_envelope(0.5, 1024.0));
+  // alpha = 0.5 -> 4^2 = 16; log2(64) = 6.
+  EXPECT_NEAR(theorem1_envelope(0.5, 64.0), 16.0 * 6.0, 1e-9);
+}
+
+TEST(Mathx, RoundIntegral) {
+  EXPECT_EQ(round_integral(4.0), 4);
+  EXPECT_EQ(round_integral(4.0 + 1e-9), 4);
+  EXPECT_EQ(round_integral(-3.0), -3);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> hits(6, 0);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h), trials / 6.0, trials * 0.01);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, LogUniformBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.log_uniform(1.0, 64.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 64.0);
+  }
+}
+
+TEST(Rng, BoundedParetoBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.bounded_pareto(1.0, 100.0, 1.1);
+    EXPECT_GE(v, 1.0 - 1e-9);
+    EXPECT_LE(v, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int c0 = 0, c2 = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto idx = rng.weighted_index(w);
+    ASSERT_NE(idx, 1u);
+    if (idx == 0) ++c0;
+    if (idx == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c2) / c0, 3.0, 0.2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(29);
+  Rng child = a.split();
+  EXPECT_NE(a(), child());
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsMeanVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, BootstrapCiContainsMean) {
+  std::vector<double> v;
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) v.push_back(rng.uniform(0.0, 2.0));
+  const auto iv = bootstrap_mean_ci(v, 0.95, 500, 1);
+  EXPECT_LT(iv.lo, 1.1);
+  EXPECT_GT(iv.hi, 0.9);
+  EXPECT_LT(iv.lo, iv.hi);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, PrintsAllRowsAndHeaders) {
+  Table t({"P", "ratio"});
+  t.add_row({std::int64_t{64}, 2.5});
+  t.add_row({std::int64_t{128}, 3.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("P"), std::string::npos);
+  EXPECT_NE(s.find("ratio"), std::string::npos);
+  EXPECT_NE(s.find("64"), std::string::npos);
+  EXPECT_NE(s.find("3.0"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumericColumn) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, 2.5});
+  t.add_row({std::int64_t{3}, 4.5});
+  const auto col = t.numeric_column("b");
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 2.5);
+  EXPECT_DOUBLE_EQ(col[1], 4.5);
+  EXPECT_THROW((void)t.numeric_column("zzz"), std::out_of_range);
+}
+
+TEST(Table, WriteCsvEscapesAndRoundsTrip) {
+  Table t({"name", "value"});
+  t.add_row({std::string("plain"), 1.5});
+  t.add_row({std::string("with,comma"), 2.5});
+  t.add_row({std::string("with\"quote"), std::int64_t{3}});
+  const std::string path = "test_table_out.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with\"\"quote\",3");
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- options
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--m=16", "--verbose", "pos1",
+                        "--alpha=0.5,0.75"};
+  Options o(5, argv);
+  EXPECT_EQ(o.get_int("m", 0), 16);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+  const auto alphas = o.get_doubles("alpha", {});
+  ASSERT_EQ(alphas.size(), 2u);
+  EXPECT_DOUBLE_EQ(alphas[0], 0.5);
+  EXPECT_DOUBLE_EQ(alphas[1], 0.75);
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "pos1");
+}
+
+TEST(Options, GetIntsParsesLists) {
+  const char* argv[] = {"prog", "--P=8,16,32"};
+  Options o(2, argv);
+  const auto ps = o.get_ints("P", {});
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[0], 8);
+  EXPECT_EQ(ps[2], 32);
+  const auto dflt = o.get_ints("missing", {1, 2});
+  ASSERT_EQ(dflt.size(), 2u);
+}
+
+TEST(Options, UnusedKeysDetectsTypos) {
+  const char* argv[] = {"prog", "--machnies=16"};
+  Options o(2, argv);
+  (void)o.get_int("machines", 8);
+  const auto unused = o.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "machnies");
+}
+
+// ------------------------------------------------------------- timeline
+
+TEST(StepFunction, ValueAndIntegrate) {
+  StepFunction f;
+  f.append(0.0, 2.0);
+  f.append(1.0, 5.0);
+  f.append(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.value(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.value(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.integrate(0.0, 3.0), 2.0 + 2.0 * 5.0);
+  EXPECT_DOUBLE_EQ(f.integrate(0.5, 1.5), 0.5 * 2.0 + 0.5 * 5.0);
+}
+
+TEST(StepFunction, OverwriteAtSameTime) {
+  StepFunction f;
+  f.append(0.0, 1.0);
+  f.append(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 3.0);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(PiecewiseLinear, ValueInterpolation) {
+  PiecewiseLinear f;
+  f.append(0.0, 10.0);
+  f.append(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.value(2.5), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(100.0), 0.0);   // flat extrapolation
+  EXPECT_DOUBLE_EQ(f.value(-1.0), 10.0);
+}
+
+TEST(PiecewiseLinear, RightDerivative) {
+  PiecewiseLinear f;
+  f.append(0.0, 10.0);
+  f.append(5.0, 0.0);
+  f.append(7.0, 4.0);
+  EXPECT_DOUBLE_EQ(f.right_derivative(1.0), -2.0);
+  EXPECT_DOUBLE_EQ(f.right_derivative(5.0), 2.0);  // right-sided at knot
+  EXPECT_DOUBLE_EQ(f.right_derivative(7.0), 0.0);
+}
+
+TEST(PiecewiseLinear, Integrate) {
+  PiecewiseLinear f;
+  f.append(0.0, 10.0);
+  f.append(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(f.integrate(0.0, 5.0), 25.0);
+  EXPECT_DOUBLE_EQ(f.integrate(0.0, 10.0), 25.0);  // flat 0 after
+  EXPECT_NEAR(f.integrate(1.0, 2.0), 0.5 * (8.0 + 6.0), 1e-12);
+}
+
+TEST(MergedBreakpoints, DedupAndClip) {
+  std::vector<double> a{0.0, 1.0, 2.0};
+  std::vector<double> b{1.0, 1.5, 9.0};
+  const auto merged = merged_breakpoints({&a, &b}, 0.0, 3.0);
+  ASSERT_EQ(merged.size(), 5u);  // 0, 1, 1.5, 2, 3
+  EXPECT_DOUBLE_EQ(merged.front(), 0.0);
+  EXPECT_DOUBLE_EQ(merged.back(), 3.0);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,342 @@
+// Workload generators: random/batch fuzzers, the Section-3 greedy-killer,
+// and the Section-4 adaptive adversary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/equi.hpp"
+#include "sched/greedy_hybrid.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/opt/plan.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/trajectory.hpp"
+#include "workload/adversary.hpp"
+#include "workload/greedy_killer.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+// --------------------------------------------------------------- random
+
+TEST(RandomWorkload, RespectsConfig) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 8;
+  cfg.jobs = 100;
+  cfg.P = 32.0;
+  cfg.seed = 42;
+  const Instance inst = make_random_instance(cfg);
+  EXPECT_EQ(inst.size(), 100u);
+  EXPECT_EQ(inst.machines(), 8);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_GE(j.size, 1.0);
+    EXPECT_LE(j.size, 32.0);
+    EXPECT_GE(j.release, 0.0);
+  }
+}
+
+TEST(RandomWorkload, DeterministicBySeed) {
+  RandomWorkloadConfig cfg;
+  cfg.seed = 7;
+  const Instance a = make_random_instance(cfg);
+  const Instance b = make_random_instance(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].release, b.jobs()[i].release);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].size, b.jobs()[i].size);
+  }
+}
+
+TEST(RandomWorkload, SeedChangesInstance) {
+  RandomWorkloadConfig cfg;
+  cfg.seed = 1;
+  const Instance a = make_random_instance(cfg);
+  cfg.seed = 2;
+  const Instance b = make_random_instance(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a.jobs()[i].size != b.jobs()[i].size) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomWorkload, AllSizeLawsInRange) {
+  for (SizeLaw law : {SizeLaw::kUniform, SizeLaw::kLogUniform,
+                      SizeLaw::kBoundedPareto, SizeLaw::kBimodal}) {
+    RandomWorkloadConfig cfg;
+    cfg.size_law = law;
+    cfg.P = 16.0;
+    cfg.jobs = 200;
+    cfg.seed = 5;
+    const Instance inst = make_random_instance(cfg);
+    for (const Job& j : inst.jobs()) {
+      EXPECT_GE(j.size, 1.0 - 1e-9) << to_string(law);
+      EXPECT_LE(j.size, 16.0 + 1e-9) << to_string(law);
+    }
+  }
+}
+
+TEST(RandomWorkload, MixedAlphaLawProducesVariety) {
+  RandomWorkloadConfig cfg;
+  cfg.alpha_law = AlphaLaw::kMixed;
+  cfg.jobs = 300;
+  cfg.seed = 9;
+  const Instance inst = make_random_instance(cfg);
+  int seq = 0, par = 0, pow_ = 0;
+  for (const Job& j : inst.jobs()) {
+    switch (j.curve.kind()) {
+      case SpeedupCurve::Kind::kSequential:
+        ++seq;
+        break;
+      case SpeedupCurve::Kind::kFullyParallel:
+        ++par;
+        break;
+      case SpeedupCurve::Kind::kPowerLaw:
+        ++pow_;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(seq, 50);
+  EXPECT_GT(par, 50);
+  EXPECT_GT(pow_, 50);
+}
+
+TEST(BatchWorkload, AllReleasedAtZero) {
+  BatchWorkloadConfig cfg;
+  cfg.jobs = 50;
+  cfg.seed = 3;
+  const Instance inst = make_batch_instance(cfg);
+  EXPECT_EQ(inst.size(), 50u);
+  for (const Job& j : inst.jobs()) EXPECT_DOUBLE_EQ(j.release, 0.0);
+}
+
+// --------------------------------------------------------- greedy-killer
+
+TEST(GreedyKiller, StructureMatchesPaper) {
+  GreedyKillerConfig cfg;
+  cfg.machines = 16;
+  cfg.alpha = 0.5;
+  cfg.stream_time = 32.0;
+  const GreedyKillerInstance gk = make_greedy_killer(cfg);
+  // k = round(16^{0.5}) = 4.
+  EXPECT_EQ(gk.k, 4);
+  const auto& jobs = gk.instance.jobs();
+  std::size_t n_long = 0, n_short = 0, n_stream = 0;
+  for (const Job& j : jobs) {
+    switch (j.tag.cls) {
+      case JobTag::Class::kLong:
+        ++n_long;
+        EXPECT_DOUBLE_EQ(j.size, 16.0);
+        EXPECT_DOUBLE_EQ(j.release, 0.0);
+        break;
+      case JobTag::Class::kShort:
+        ++n_short;
+        EXPECT_DOUBLE_EQ(j.size, 1.0);
+        break;
+      case JobTag::Class::kStream:
+        ++n_stream;
+        EXPECT_GE(j.release, 17.0);
+        break;
+      default:
+        FAIL();
+    }
+  }
+  EXPECT_EQ(n_long, 12u);                       // m - k
+  EXPECT_EQ(n_short, 64u);                      // m * k
+  EXPECT_EQ(n_stream, 32u * 4u);                // X * k
+  EXPECT_DOUBLE_EQ(gk.instance.P(), 16.0);      // P = m
+}
+
+TEST(GreedyKiller, AlternativePlanIsFeasible) {
+  GreedyKillerConfig cfg;
+  cfg.machines = 16;
+  cfg.alpha = 0.5;
+  cfg.stream_time = 32.0;
+  const GreedyKillerInstance gk = make_greedy_killer(cfg);
+  const Plan plan = greedy_killer_alternative_plan(gk);
+  const SimResult r = execute_plan(gk.instance, plan);
+  // Long jobs finish exactly at m; phase-1 unit jobs one unit after
+  // arrival; stream jobs get all m machines and finish in 1/k.
+  for (const auto& rec : r.records) {
+    switch (rec.job.tag.cls) {
+      case JobTag::Class::kLong:
+        EXPECT_NEAR(rec.completion, 16.0, 1e-9);
+        break;
+      case JobTag::Class::kShort:
+        EXPECT_NEAR(rec.flow(), 1.0, 1e-9);
+        break;
+      default:
+        EXPECT_NEAR(rec.flow(), 0.25, 1e-9);  // 1/k with k = 4
+        break;
+    }
+  }
+}
+
+TEST(GreedyKiller, GreedyStarvesLongJobs) {
+  GreedyKillerConfig cfg;
+  cfg.machines = 16;
+  cfg.alpha = 0.5;
+  cfg.stream_time = 16.0;
+  const GreedyKillerInstance gk = make_greedy_killer(cfg);
+  GreedyHybrid greedy;
+  TrajectoryRecorder rec;
+  const SimResult r = simulate(gk.instance, greedy, {}, {&rec});
+  (void)r;
+  // Midway through phase 1 the long jobs are untouched: all m machines
+  // chase the unit-job stream (the paper's starvation argument).
+  for (const Job& j : gk.instance.jobs()) {
+    if (j.tag.cls == JobTag::Class::kLong) {
+      EXPECT_NEAR(rec.remaining_at(j.id, 8.0), 16.0, 1e-6);
+    }
+  }
+}
+
+TEST(GreedyKiller, GreedyMuchWorseThanAlternative) {
+  GreedyKillerConfig cfg;
+  cfg.machines = 16;
+  cfg.alpha = 0.5;
+  cfg.stream_time = 256.0;  // = m^2, the paper's X
+  const GreedyKillerInstance gk = make_greedy_killer(cfg);
+  GreedyHybrid greedy;
+  const double greedy_flow = simulate(gk.instance, greedy).total_flow;
+  const double alt_flow =
+      execute_plan(gk.instance, greedy_killer_alternative_plan(gk))
+          .total_flow;
+  // At m = 16 the asymptotic gap (m - m^{1-eps})/m^{1-eps} ~ 3 is only
+  // partially realized; the full sweep lives in bench E4.
+  EXPECT_GT(greedy_flow, 2.0 * alt_flow);
+}
+
+TEST(GreedyKiller, RejectsDegenerateParams) {
+  GreedyKillerConfig cfg;
+  cfg.machines = 2;
+  EXPECT_THROW((void)make_greedy_killer(cfg), std::invalid_argument);
+  cfg.machines = 16;
+  cfg.alpha = 1.0;
+  EXPECT_THROW((void)make_greedy_killer(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ adversary
+
+TEST(Adversary, ParamsMatchClosedForms) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.0;  // eps = 1, r = 1/4
+  const AdversaryParams p = adversary_params(cfg);
+  EXPECT_NEAR(p.r, 0.25, 1e-12);
+  // log_4(64) = 3 -> L = floor(3/2) = 1.
+  EXPECT_EQ(p.num_phases, 1);
+  EXPECT_NEAR(p.threshold, 8.0 * 3.0, 1e-9);
+  EXPECT_NEAR(p.X, 64.0 * 64.0, 1e-9);
+}
+
+TEST(Adversary, RejectsBadConfig) {
+  AdversaryConfig cfg;
+  cfg.machines = 7;  // odd
+  EXPECT_THROW((void)adversary_params(cfg), std::invalid_argument);
+  cfg.machines = 8;
+  cfg.alpha = 1.0;
+  EXPECT_THROW((void)adversary_params(cfg), std::invalid_argument);
+  cfg.alpha = 0.5;
+  cfg.P = 2.0;
+  EXPECT_THROW((void)adversary_params(cfg), std::invalid_argument);
+}
+
+TEST(Adversary, RunsAgainstIsrptAndStandardPlanIsFeasible) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = 64.0;  // shortened stream for test speed
+  AdversarySource source(cfg);
+  IntermediateSrpt sched;
+  Engine engine(cfg.machines);
+  const SimResult alg = engine.run(sched, source);
+  ASSERT_GT(alg.jobs(), 0u);
+  const AdversaryOutcome& out = source.outcome();
+  EXPECT_GT(out.T, 0.0);
+  ASSERT_FALSE(out.phase_start.empty());
+
+  // The realized instance admits the paper's standard schedule. (Whether
+  // it beats the online algorithm depends on the stream length — that is
+  // bench E3's business; here we verify feasibility and accounting.)
+  const Instance realized(cfg.machines, alg.realized_jobs());
+  const Plan plan = adversary_standard_plan(realized, cfg, out);
+  const SimResult opt = execute_plan(realized, plan);
+  EXPECT_EQ(opt.jobs(), alg.jobs());
+  EXPECT_GT(opt.total_flow, 0.0);
+}
+
+TEST(Adversary, EquiTriggersCase1) {
+  // EQUI spreads processors thin, so unit jobs linger past the midpoint
+  // and the adversary punishes immediately with the stream.
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = 32.0;
+  AdversarySource source(cfg);
+  Equi sched;
+  Engine engine(cfg.machines);
+  (void)engine.run(sched, source);
+  EXPECT_TRUE(source.outcome().case1);
+}
+
+TEST(Adversary, PhaseLengthsFollowGeometricDecay) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 4096.0;
+  cfg.alpha = 0.0;  // r = 1/4 -> L = floor(6/2) = 3 phases
+  cfg.stream_time = 16.0;
+  const AdversaryParams p = adversary_params(cfg);
+  ASSERT_EQ(p.num_phases, 3);
+  AdversarySource source(cfg);
+  IntermediateSrpt sched;
+  Engine engine(cfg.machines);
+  (void)engine.run(sched, source);
+  const AdversaryOutcome& out = source.outcome();
+  for (std::size_t i = 0; i < out.phase_length.size(); ++i) {
+    EXPECT_NEAR(out.phase_length[i], 4096.0 * std::pow(0.25, i), 1e-6);
+    if (i > 0) {
+      EXPECT_NEAR(out.phase_start[i],
+                  out.phase_start[i - 1] + out.phase_length[i - 1], 1e-6);
+    }
+  }
+}
+
+TEST(Adversary, DeterministicReplayAfterReset) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 64.0;
+  cfg.alpha = 0.25;
+  cfg.stream_time = 16.0;
+  AdversarySource source(cfg);
+  IntermediateSrpt sched;
+  Engine e1(cfg.machines);
+  const double f1 = e1.run(sched, source).total_flow;
+  Engine e2(cfg.machines);
+  const double f2 = e2.run(sched, source).total_flow;  // reset() inside run
+  EXPECT_NEAR(f1, f2, 1e-9 * f1);
+}
+
+TEST(Adversary, SizesStayWithinP) {
+  AdversaryConfig cfg;
+  cfg.machines = 8;
+  cfg.P = 256.0;
+  cfg.alpha = 0.5;
+  cfg.stream_time = 8.0;
+  AdversarySource source(cfg);
+  IntermediateSrpt sched;
+  Engine engine(cfg.machines);
+  const SimResult r = engine.run(sched, source);
+  for (const auto& rec : r.records) {
+    EXPECT_GE(rec.job.size, 1.0 - 1e-9);
+    EXPECT_LE(rec.job.size, 256.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace parsched

@@ -1,0 +1,211 @@
+// parsched — the command-line front end.
+//
+//   parsched gen --kind=random --jobs=200 --machines=16 --out=inst.txt
+//   parsched run --instance=inst.txt --policy=isrpt --gantt
+//   parsched compare --instance=inst.txt
+//   parsched bound --instance=inst.txt
+//
+// Commands:
+//   gen      generate an instance file (kinds: random, batch, phased,
+//            greedy-killer; see --help output per kind below)
+//   run      simulate one policy on an instance file; optional --speed,
+//            --trace=out.csv (allocation segments), --gantt (terminal
+//            timeline)
+//   compare  run every registry policy plus the OPT sandwich
+//   bound    print the provable lower bounds only
+#include <iostream>
+#include <sstream>
+
+#include "analysis/trace.hpp"
+#include "sched/opt/search.hpp"
+#include "sched/opt/portfolio.hpp"
+#include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
+#include "sched/weighted.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/io.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/greedy_killer.hpp"
+#include "workload/phased.hpp"
+#include "workload/random.hpp"
+
+using namespace parsched;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: parsched <command> [--key=value ...]\n"
+      "  gen     --kind=random|batch|phased|greedy-killer --out=FILE\n"
+      "          [--machines=M --jobs=N --P=.. --load=.. --alpha=..\n"
+      "           --seed=..]\n"
+      "  run     --instance=FILE [--policy=isrpt] [--speed=1.0]\n"
+      "          [--trace=FILE.csv] [--gantt] [--width=72]\n"
+      "  compare --instance=FILE [--policies=a,b,c] [--search]\n"
+      "  bound   --instance=FILE\n";
+  return 2;
+}
+
+int cmd_gen(const Options& opt) {
+  const std::string kind = opt.get("kind", "random");
+  const std::string out = opt.get("out", "");
+  if (out.empty()) {
+    std::cerr << "gen: --out=FILE is required\n";
+    return 2;
+  }
+  if (kind == "random" || kind == "batch") {
+    RandomWorkloadConfig cfg;
+    cfg.machines = static_cast<int>(opt.get_int("machines", 16));
+    cfg.jobs = static_cast<std::size_t>(opt.get_int("jobs", 200));
+    cfg.P = opt.get_double("P", 64.0);
+    cfg.load = opt.get_double("load", 0.9);
+    cfg.alpha_lo = cfg.alpha_hi = opt.get_double("alpha", 0.5);
+    cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    if (kind == "batch") {
+      BatchWorkloadConfig b;
+      b.machines = cfg.machines;
+      b.jobs = cfg.jobs;
+      b.P = cfg.P;
+      b.seed = cfg.seed;
+      write_instance_file(out, make_batch_instance(b));
+    } else {
+      write_instance_file(out, make_random_instance(cfg));
+    }
+  } else if (kind == "phased") {
+    PhasedWorkloadConfig cfg;
+    cfg.machines = static_cast<int>(opt.get_int("machines", 16));
+    cfg.jobs = static_cast<std::size_t>(opt.get_int("jobs", 200));
+    cfg.P = opt.get_double("P", 64.0);
+    cfg.load = opt.get_double("load", 0.9);
+    cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    write_instance_file(out, make_phased_instance(cfg));
+  } else if (kind == "greedy-killer") {
+    GreedyKillerConfig cfg;
+    cfg.machines = static_cast<int>(opt.get_int("machines", 16));
+    cfg.alpha = opt.get_double("alpha", 0.5);
+    cfg.stream_time = opt.get_double("stream", -1.0);
+    write_instance_file(out, make_greedy_killer(cfg).instance);
+  } else {
+    std::cerr << "gen: unknown kind " << kind << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_run(const Options& opt) {
+  const std::string path = opt.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "run: --instance=FILE is required\n";
+    return 2;
+  }
+  const Instance inst = read_instance_file(path);
+  auto sched = make_scheduler(opt.get("policy", "isrpt"));
+  EngineConfig ec;
+  ec.speed = opt.get_double("speed", 1.0);
+  AllocationTrace trace;
+  std::vector<Observer*> observers;
+  const bool want_trace = opt.has("trace") || opt.get_bool("gantt", false);
+  if (want_trace) observers.push_back(&trace);
+  const SimResult r = simulate(inst, *sched, ec, observers);
+
+  std::cout << sched->name() << " on " << inst.size() << " jobs / "
+            << inst.machines() << " machines (P=" << inst.P()
+            << ", speed=" << ec.speed << ")\n"
+            << "  total flow    " << r.total_flow << "\n"
+            << "  weighted flow " << r.weighted_flow << "\n"
+            << "  avg / max     " << r.avg_flow() << " / " << r.max_flow()
+            << "\n"
+            << "  makespan      " << r.makespan << "\n"
+            << "  OPT lower bnd " << opt_lower_bound(inst) << "\n";
+  if (opt.get_bool("gantt", false)) {
+    std::cout << "\n";
+    trace.render_gantt(std::cout,
+                       static_cast<int>(opt.get_int("width", 72)));
+  }
+  if (opt.has("trace")) {
+    const std::string tpath = opt.get("trace", "trace.csv");
+    trace.write_csv(tpath);
+    std::cout << "allocation segments written to " << tpath << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Options& opt) {
+  const std::string path = opt.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "compare: --instance=FILE is required\n";
+    return 2;
+  }
+  const Instance inst = read_instance_file(path);
+  std::vector<std::string> policies = standard_policy_names();
+  if (opt.has("policies")) {
+    policies.clear();
+    std::stringstream ss(opt.get("policies", ""));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) policies.push_back(tok);
+    }
+  }
+  const double lb = opt_lower_bound(inst);
+  Table t({"policy", "total_flow", "avg_flow", "max_flow", "vs_LB"}, 3);
+  double best = 0.0;
+  std::string best_name;
+  for (const auto& name : policies) {
+    auto sched = make_scheduler(name);
+    const SimResult r = simulate(inst, *sched);
+    if (best_name.empty() || r.total_flow < best) {
+      best = r.total_flow;
+      best_name = sched->name();
+    }
+    t.add_row({sched->name(), r.total_flow, r.avg_flow(), r.max_flow(),
+               r.total_flow / lb});
+  }
+  std::cout << t;
+  std::cout << "best feasible: " << best_name << " (" << best
+            << "); provable OPT lower bound: " << lb << "\n"
+            << "=> OPT lies in [" << lb << ", " << best << "]\n";
+  if (opt.get_bool("search", false)) {
+    std::cout << "running priority-list local search...\n";
+    const SearchResult sr = local_search_opt(inst, 2000, 1);
+    std::cout << "local search best: " << sr.best_flow << " ("
+              << sr.evaluations << " evaluations)\n";
+  }
+  return 0;
+}
+
+int cmd_bound(const Options& opt) {
+  const std::string path = opt.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "bound: --instance=FILE is required\n";
+    return 2;
+  }
+  const Instance inst = read_instance_file(path);
+  std::cout << "speed-m SRPT relaxation: " << srpt_speed_m_lower_bound(inst)
+            << "\n"
+            << "per-job span bound:      " << span_lower_bound(inst) << "\n"
+            << "weighted span bound:     " << weighted_span_lower_bound(inst)
+            << "\n"
+            << "combined (flow):         " << opt_lower_bound(inst) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Options opt(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(opt);
+    if (command == "run") return cmd_run(opt);
+    if (command == "compare") return cmd_compare(opt);
+    if (command == "bound") return cmd_bound(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
