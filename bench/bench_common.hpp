@@ -2,17 +2,50 @@
 // The adversary-measurement methodology lives in the library (tested):
 // analysis/adversary_eval.hpp. This header keeps the benches' historical
 // `bench::` spelling.
+//
+// Setting PARSCHED_AUDIT=1 in the environment attaches an
+// InvariantAuditor to every ALG run and aborts the bench (via
+// AuditFailure) on the first violated simulation invariant. CI smoke
+// runs set it; leave it unset for timed measurements — the auditor adds
+// per-decision bookkeeping that would pollute perf numbers.
 #pragma once
 
+#include <cstdlib>
+
 #include "analysis/adversary_eval.hpp"
+#include "check/invariant_auditor.hpp"
 #include "sched/opt/relaxations.hpp"
+#include "sched/registry.hpp"
 #include "simcore/engine.hpp"
 
 namespace parsched::bench {
 
 using parsched::AdversaryPoint;
 using parsched::P_for_phases;
-using parsched::run_adversary_point;
+
+inline bool audit_enabled() {
+  const char* v = std::getenv("PARSCHED_AUDIT");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Drop-in for parsched::run_adversary_point that honors PARSCHED_AUDIT:
+/// when enabled, the ALG run is audited and any invariant violation
+/// raises AuditFailure with the full report.
+inline AdversaryPoint run_adversary_point(const std::string& policy,
+                                          const AdversaryConfig& cfg,
+                                          double stream_cap = 4096.0) {
+  if (!audit_enabled()) {
+    return parsched::run_adversary_point(policy, cfg, stream_cap);
+  }
+  AuditConfig audit;
+  audit.policy_name = make_scheduler(policy)->name();
+  audit.policy = policy_lint_for(audit.policy_name);
+  InvariantAuditor auditor(cfg.machines, audit);
+  const AdversaryPoint pt =
+      parsched::run_adversary_point(policy, cfg, stream_cap, {&auditor});
+  auditor.require_clean();
+  return pt;
+}
 
 inline std::vector<std::string> fast_portfolio() {
   return adversary_portfolio();

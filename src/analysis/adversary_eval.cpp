@@ -28,7 +28,8 @@ double AdversaryPoint::ratio_extrapolated() const {
 
 AdversaryPoint run_adversary_point(const std::string& policy,
                                    const AdversaryConfig& cfg,
-                                   double stream_cap) {
+                                   double stream_cap,
+                                   const std::vector<Observer*>& observers) {
   AdversaryConfig capped = cfg;
   const double X_full =
       cfg.stream_time > 0.0 ? cfg.stream_time : cfg.P * cfg.P;
@@ -39,6 +40,7 @@ AdversaryPoint run_adversary_point(const std::string& policy,
   Engine engine(capped.machines);
   CountTracker tracker;
   engine.add_observer(&tracker);
+  for (Observer* obs : observers) engine.add_observer(obs);
   const SimResult alg = engine.run(*sched, source);
   const Instance realized(capped.machines, alg.realized_jobs());
   const Plan plan =

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "simcore/observer.hpp"
 #include "workload/adversary.hpp"
 
 namespace parsched {
@@ -54,9 +55,11 @@ struct AdversaryPoint {
 
 /// Run `policy` (registry spec) against the adversary; stream capped at
 /// `stream_cap` time units and extrapolated to cfg.stream_time (or P²).
+/// Extra `observers` (e.g. an InvariantAuditor) are attached to the ALG
+/// run only — portfolio/OPT replays are not observed.
 [[nodiscard]] AdversaryPoint run_adversary_point(
     const std::string& policy, const AdversaryConfig& cfg,
-    double stream_cap = 4096.0);
+    double stream_cap = 4096.0, const std::vector<Observer*>& observers = {});
 
 /// Smallest P realizing exactly `phases` adversary phases for this alpha:
 /// L = floor(log_{1/r}(P)/2) so P = (1/r)^{2L} (nudged up so the floor

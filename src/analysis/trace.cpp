@@ -162,7 +162,10 @@ void AllocationTrace::render_gantt(std::ostream& os, int width,
     }
     os << std::setw(6) << ("j" + std::to_string(id)) << " |";
     for (double c : cells) {
-      os << (c <= 0.0 ? ' ' : c < 1.0 ? '.' : c == 1.0 ? ':' : '#');
+      os << (c <= 0.0      ? ' '
+             : c < 1.0  ? '.'
+             : c == 1.0 ? ':'  // lint: float-eq-ok
+                        : '#');
     }
     os << "|\n";
   }

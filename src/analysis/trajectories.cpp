@@ -54,7 +54,7 @@ ScheduleTrajectories ScheduleTrajectories::from_plan(const Instance& instance,
       work += seg_work;
       jt.remaining.append(s.t1, job.size - work);
     }
-    if (jt.completion == 0.0 && job.size > 0.0) {
+    if (jt.completion == 0.0 && job.size > 0.0) {  // lint: float-eq-ok
       throw std::invalid_argument("plan does not finish job " +
                                   std::to_string(job.id));
     }

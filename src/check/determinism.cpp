@@ -1,0 +1,123 @@
+#include "check/determinism.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace parsched {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+}  // namespace
+
+void TrajectoryHasher::mix_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xffULL;
+    hash_ *= kFnvPrime;
+  }
+}
+
+void TrajectoryHasher::mix_double(double v) {
+  // +0.0 and -0.0 compare equal but differ bitwise; normalize so a replay
+  // differing only in zero sign still hashes identically.
+  if (v == 0.0) v = 0.0;  // lint: float-eq-ok
+  mix_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void TrajectoryHasher::reset() {
+  hash_ = 0xcbf29ce484222325ULL;
+  events_ = 0;
+}
+
+void TrajectoryHasher::on_arrival(double t, const Job& job) {
+  ++events_;
+  mix_u64(1);
+  mix_double(t);
+  mix_u64(job.id);
+  mix_double(job.size);
+  mix_double(job.release);
+}
+
+void TrajectoryHasher::on_decision(double t, std::span<const AliveJob> alive,
+                                   std::span<const double> shares) {
+  ++events_;
+  mix_u64(2);
+  mix_double(t);
+  mix_u64(alive.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    mix_u64(alive[i].id);
+    mix_double(alive[i].remaining);
+    mix_double(i < shares.size() ? shares[i] : -1.0);
+  }
+}
+
+void TrajectoryHasher::on_completion(double t, const Job& job) {
+  ++events_;
+  mix_u64(3);
+  mix_double(t);
+  mix_u64(job.id);
+}
+
+void TrajectoryHasher::on_done(double t) {
+  ++events_;
+  mix_u64(4);
+  mix_double(t);
+}
+
+std::string DeterminismReport::to_string() const {
+  std::ostringstream os;
+  if (deterministic) {
+    os << "deterministic: " << events_first << " events, hash 0x"
+       << std::hex << hash_first;
+  } else {
+    os << "NONDETERMINISTIC: run 1 (" << std::dec << events_first
+       << " events, hash 0x" << std::hex << hash_first << ") vs run 2 ("
+       << std::dec << events_second << " events, hash 0x" << std::hex
+       << hash_second << ")";
+  }
+  return os.str();
+}
+
+DeterminismReport check_determinism(
+    const Instance& instance,
+    const std::function<std::unique_ptr<Scheduler>()>& make_sched,
+    const EngineConfig& config) {
+  TrajectoryHasher first;
+  TrajectoryHasher second;
+  {
+    auto sched = make_sched();
+    (void)simulate(instance, *sched, config, {&first});
+  }
+  {
+    auto sched = make_sched();
+    (void)simulate(instance, *sched, config, {&second});
+  }
+  DeterminismReport rep;
+  rep.hash_first = first.hash();
+  rep.hash_second = second.hash();
+  rep.events_first = first.events();
+  rep.events_second = second.events();
+  rep.deterministic = rep.hash_first == rep.hash_second &&
+                      rep.events_first == rep.events_second;
+  return rep;
+}
+
+DeterminismReport check_determinism(const Instance& instance,
+                                    Scheduler& sched,
+                                    const EngineConfig& config) {
+  TrajectoryHasher first;
+  TrajectoryHasher second;
+  (void)simulate(instance, sched, config, {&first});
+  (void)simulate(instance, sched, config, {&second});
+  DeterminismReport rep;
+  rep.hash_first = first.hash();
+  rep.hash_second = second.hash();
+  rep.events_first = first.events();
+  rep.events_second = second.events();
+  rep.deterministic = rep.hash_first == rep.hash_second &&
+                      rep.events_first == rep.events_second;
+  return rep;
+}
+
+}  // namespace parsched

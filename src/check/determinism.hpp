@@ -1,0 +1,74 @@
+// parsched — determinism checking: replay a simulation and diff
+// trajectory hashes.
+//
+// Every Scheduler is documented to be a deterministic function of the
+// context plus internal state reset by reset(); the engine itself is
+// event-driven with no hidden entropy. This module makes that testable:
+// TrajectoryHasher folds every observer callback (times, job ids,
+// remaining work, shares) into an order-sensitive FNV-1a hash, and
+// check_determinism runs an instance twice against independently
+// constructed schedulers and compares the hashes. Any nondeterminism —
+// an unseeded RNG, iteration over pointer-keyed containers, stale state
+// surviving reset() — shows up as a hash mismatch at a reported event
+// index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "simcore/engine.hpp"
+#include "simcore/observer.hpp"
+
+namespace parsched {
+
+/// Observer that folds the full observable trajectory of a run into a
+/// 64-bit order-sensitive hash.
+class TrajectoryHasher final : public Observer {
+ public:
+  void on_arrival(double t, const Job& job) override;
+  void on_decision(double t, std::span<const AliveJob> alive,
+                   std::span<const double> shares) override;
+  void on_completion(double t, const Job& job) override;
+  void on_done(double t) override;
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
+ private:
+  void mix_u64(std::uint64_t v);
+  void mix_double(double v);
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t events_ = 0;
+};
+
+struct DeterminismReport {
+  bool deterministic = false;
+  std::uint64_t hash_first = 0;
+  std::uint64_t hash_second = 0;
+  std::uint64_t events_first = 0;
+  std::uint64_t events_second = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Simulate `instance` twice with schedulers built by `make_sched` (called
+/// once per run so no state can leak between replays) and compare
+/// trajectory hashes.
+[[nodiscard]] DeterminismReport check_determinism(
+    const Instance& instance,
+    const std::function<std::unique_ptr<Scheduler>()>& make_sched,
+    const EngineConfig& config = {});
+
+/// Convenience overload: reuse one scheduler object across both runs,
+/// relying on Scheduler::reset() — stricter, since it also catches state
+/// that survives reset().
+[[nodiscard]] DeterminismReport check_determinism(
+    const Instance& instance, Scheduler& sched,
+    const EngineConfig& config = {});
+
+}  // namespace parsched

@@ -1,0 +1,313 @@
+#include "check/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/mathx.hpp"
+
+namespace parsched {
+
+namespace {
+
+/// Slack for comparing work quantities after integrating over [0, t]:
+/// rounding accumulates proportionally to the magnitudes involved.
+double work_slack(double tol, double size, double rate, double t) {
+  return tol * std::max({1.0, size, rate * std::fabs(t)});
+}
+
+}  // namespace
+
+PolicyLint policy_lint_for(const std::string& scheduler_name) {
+  if (scheduler_name == "Sequential-SRPT") return PolicyLint::kSequentialSrpt;
+  if (scheduler_name == "EQUI") return PolicyLint::kEqui;
+  if (scheduler_name == "Intermediate-SRPT") {
+    return PolicyLint::kIntermediateSrpt;
+  }
+  return PolicyLint::kNone;
+}
+
+InvariantAuditor::InvariantAuditor(int machines, AuditConfig config)
+    : m_(machines), cfg_(std::move(config)) {
+  PARSCHED_CHECK(machines >= 1, "auditor needs at least one machine");
+  PARSCHED_CHECK(cfg_.speed > 0.0, "auditor speed must be positive");
+  if (cfg_.policy == PolicyLint::kAuto) {
+    cfg_.policy = policy_lint_for(cfg_.policy_name);
+  }
+}
+
+void InvariantAuditor::reset() {
+  last_event_ = 0.0;
+  last_decision_ = 0.0;
+  any_event_ = false;
+  count_ = 0;
+  decisions_ = 0;
+  violations_.clear();
+  jobs_.clear();
+}
+
+void InvariantAuditor::record(double t, std::string message) {
+  ++count_;
+  if (cfg_.fail_fast) {
+    std::ostringstream os;
+    os << "audit failure at t=" << t << ": " << message;
+    throw AuditFailure(os.str());
+  }
+  if (violations_.size() < cfg_.max_recorded) {
+    violations_.push_back(Violation{t, std::move(message)});
+  }
+}
+
+void InvariantAuditor::observe_time(double t, const char* where) {
+  if (any_event_ && t < last_event_ - cfg_.time_tol) {
+    std::ostringstream os;
+    os << where << " at t=" << t << " after event at t=" << last_event_
+       << ": event times must be nondecreasing";
+    record(t, os.str());
+  }
+  last_event_ = std::max(any_event_ ? last_event_ : t, t);
+  any_event_ = true;
+}
+
+void InvariantAuditor::on_arrival(double t, const Job& job) {
+  observe_time(t, "arrival");
+  if (t < job.release - cfg_.time_tol) {
+    std::ostringstream os;
+    os << "job " << job.id << " admitted at t=" << t
+       << " before its release " << job.release;
+    record(t, os.str());
+  }
+  auto [it, inserted] = jobs_.try_emplace(job.id);
+  if (!inserted && !it->second.completed) {
+    std::ostringstream os;
+    os << "duplicate arrival for alive job " << job.id;
+    record(t, os.str());
+  }
+  it->second = JobState{};
+  it->second.release = job.release;
+  it->second.size = job.size;
+}
+
+void InvariantAuditor::on_decision(double t, std::span<const AliveJob> alive,
+                                   std::span<const double> shares) {
+  observe_time(t, "decision");
+  ++decisions_;
+  if (shares.size() != alive.size()) {
+    std::ostringstream os;
+    os << "allocation has " << shares.size() << " shares for "
+       << alive.size() << " alive jobs";
+    record(t, os.str());
+    return;
+  }
+
+  // Feasibility: shares ≥ 0, Σ shares ≤ m.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i] < -cfg_.share_tol) {
+      std::ostringstream os;
+      os << "negative share " << shares[i] << " for job " << alive[i].id;
+      record(t, os.str());
+    }
+    sum += std::max(0.0, shares[i]);
+  }
+  const double cap = static_cast<double>(m_);
+  if (sum > cap + cfg_.share_tol * (cap + 1.0)) {
+    std::ostringstream os;
+    os << "overcommitted allocation: sum of shares " << sum << " > m = "
+       << m_;
+    record(t, os.str());
+  }
+
+  const double dt = t - last_decision_;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const AliveJob& a = alive[i];
+    auto it = jobs_.find(a.id);
+    if (it == jobs_.end()) {
+      std::ostringstream os;
+      os << "decision covers job " << a.id << " that never arrived";
+      record(t, os.str());
+      continue;
+    }
+    JobState& st = it->second;
+    if (st.completed) {
+      std::ostringstream os;
+      os << "decision covers already-completed job " << a.id;
+      record(t, os.str());
+      continue;
+    }
+    const double slack = work_slack(cfg_.work_tol, st.size, st.rate, t);
+    if (a.remaining < -slack || a.remaining > st.size + slack) {
+      std::ostringstream os;
+      os << "job " << a.id << " remaining " << a.remaining
+         << " outside [0, size=" << st.size << "]";
+      record(t, os.str());
+    }
+    if (st.has_prediction) {
+      // The Γ-rate model: constant rate since the previous decision point.
+      const double expected =
+          std::max(0.0, st.prev_remaining - st.rate * dt);
+      if (std::fabs(a.remaining - expected) > slack) {
+        std::ostringstream os;
+        os << "job " << a.id << " remaining " << a.remaining
+           << " deviates from the rate model (expected " << expected
+           << " = " << st.prev_remaining << " - " << st.rate << " * " << dt
+           << ")";
+        record(t, os.str());
+      }
+      if (a.remaining > st.prev_remaining + slack) {
+        std::ostringstream os;
+        os << "job " << a.id << " remaining work increased: "
+           << st.prev_remaining << " -> " << a.remaining;
+        record(t, os.str());
+      }
+    } else if (std::fabs(a.remaining - st.size) > slack) {
+      std::ostringstream os;
+      os << "job " << a.id << " was processed before its first decision "
+         << "point: remaining " << a.remaining << " != size " << st.size;
+      record(t, os.str());
+    }
+    st.prev_remaining = a.remaining;
+    st.rate = cfg_.speed * a.curve.rate(std::max(0.0, shares[i]));
+    st.has_prediction = true;
+  }
+
+  check_structure(t, alive, shares);
+  last_decision_ = t;
+}
+
+void InvariantAuditor::check_structure(double t,
+                                       std::span<const AliveJob> alive,
+                                       std::span<const double> shares) {
+  if (cfg_.policy == PolicyLint::kNone || alive.empty()) return;
+  const std::size_t n = alive.size();
+  const auto m = static_cast<std::size_t>(m_);
+
+  const bool srpt_regime =
+      cfg_.policy == PolicyLint::kSequentialSrpt ||
+      (cfg_.policy == PolicyLint::kIntermediateSrpt && n >= m);
+
+  if (srpt_regime) {
+    // Sequential-SRPT structure: 0/1 shares, min(n, m) jobs served, and
+    // every served job no longer than every starved one (SRPT order).
+    const std::size_t k = std::min(n, m);
+    std::size_t served = 0;
+    double max_served = -kInf;
+    double min_starved = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = shares[i];
+      if (std::fabs(s) > cfg_.share_tol && std::fabs(s - 1.0) >
+                                               cfg_.share_tol) {
+        std::ostringstream os;
+        os << "share " << s << " for job " << alive[i].id
+           << " is neither 0 nor 1 in the Sequential-SRPT regime";
+        record(t, os.str());
+      }
+      if (s > 0.5) {
+        ++served;
+        max_served = std::max(max_served, alive[i].remaining);
+      } else {
+        min_starved = std::min(min_starved, alive[i].remaining);
+      }
+    }
+    if (served != k) {
+      std::ostringstream os;
+      os << served << " jobs served; the SRPT regime serves min(n, m) = "
+         << k;
+      record(t, os.str());
+    }
+    if (served > 0 && served < n &&
+        max_served > min_starved + cfg_.work_tol *
+                                       std::max(1.0, min_starved)) {
+      std::ostringstream os;
+      os << "SRPT ordering violated: served job with remaining "
+         << max_served << " while a job with remaining " << min_starved
+         << " starves";
+      record(t, os.str());
+    }
+    return;
+  }
+
+  // Equipartition structure (EQUI always; ISRPT when underloaded).
+  const double want = static_cast<double>(m_) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(shares[i] - want) >
+        cfg_.share_tol * std::max(1.0, want)) {
+      std::ostringstream os;
+      os << "unequal split: share " << shares[i] << " for job "
+         << alive[i].id << ", equipartition gives m/n = " << want;
+      record(t, os.str());
+    }
+  }
+}
+
+void InvariantAuditor::on_completion(double t, const Job& job) {
+  observe_time(t, "completion");
+  if (t < job.release - cfg_.time_tol) {
+    std::ostringstream os;
+    os << "job " << job.id << " completed at t=" << t
+       << " before its release " << job.release;
+    record(t, os.str());
+  }
+  auto it = jobs_.find(job.id);
+  if (it == jobs_.end()) {
+    std::ostringstream os;
+    os << "completion of job " << job.id << " that never arrived";
+    record(t, os.str());
+    return;
+  }
+  JobState& st = it->second;
+  if (st.completed) {
+    std::ostringstream os;
+    os << "job " << job.id << " completed twice";
+    record(t, os.str());
+    return;
+  }
+  if (st.has_prediction) {
+    // At completion the rate model must have driven the remaining work to
+    // (numerically) zero; completing early would discard work.
+    const double expected =
+        std::max(0.0, st.prev_remaining - st.rate * (t - last_decision_));
+    if (expected > work_slack(cfg_.work_tol, st.size, st.rate, t)) {
+      std::ostringstream os;
+      os << "job " << job.id << " completed with " << expected
+         << " predicted remaining work";
+      record(t, os.str());
+    }
+  }
+  st.completed = true;
+}
+
+void InvariantAuditor::on_done(double t) {
+  observe_time(t, "done");
+  for (const auto& [id, st] : jobs_) {
+    if (!st.completed) {
+      std::ostringstream os;
+      os << "run finished with uncompleted job " << id;
+      record(t, os.str());
+    }
+  }
+}
+
+std::string InvariantAuditor::report() const {
+  std::ostringstream os;
+  os << "InvariantAuditor";
+  if (!cfg_.policy_name.empty()) os << "[" << cfg_.policy_name << "]";
+  if (ok()) {
+    os << ": clean (" << decisions_ << " decisions audited)";
+    return os.str();
+  }
+  os << ": " << count_ << " violation(s)";
+  for (const Violation& v : violations_) {
+    os << "\n  t=" << v.time << ": " << v.message;
+  }
+  if (count_ > violations_.size()) {
+    os << "\n  ... and " << (count_ - violations_.size()) << " more";
+  }
+  return os.str();
+}
+
+void InvariantAuditor::require_clean() const {
+  if (!ok()) throw AuditFailure(report());
+}
+
+}  // namespace parsched

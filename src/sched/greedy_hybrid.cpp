@@ -1,7 +1,6 @@
 #include "sched/greedy_hybrid.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <queue>
 #include <stdexcept>

@@ -1,7 +1,6 @@
 #include "sched/opt/relaxations.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <set>
 #include <vector>

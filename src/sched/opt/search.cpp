@@ -1,7 +1,6 @@
 #include "sched/opt/search.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 #include <unordered_map>

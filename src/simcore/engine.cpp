@@ -1,11 +1,11 @@
 #include "simcore/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "util/mathx.hpp"
 
 namespace parsched {
@@ -34,7 +34,7 @@ Engine::Engine(int machines, EngineConfig config)
 }
 
 void Engine::add_observer(Observer* obs) {
-  assert(obs != nullptr);
+  PARSCHED_CHECK(obs != nullptr, "null observer");
   observers_.push_back(obs);
 }
 
@@ -63,7 +63,9 @@ void Engine::admit_pending(ArrivalSource& source, SimResult& result) {
     std::vector<Job> jobs = source.take(nt, *this);
     if (jobs.empty()) {
       // Pure decision point: the source must make progress.
-      assert(source.next_time(*this) > nt);
+      PARSCHED_CHECK(source.next_time(*this) > nt,
+                     "arrival source failed to advance past a pure "
+                     "decision point");
       continue;
     }
     for (Job& j : jobs) {
@@ -110,7 +112,8 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
     if (alive_.empty()) {
       const double nt = source.next_time(*this);
       if (nt == kInf) break;  // all done
-      assert(nt >= now_ - cfg_.time_tol);
+      PARSCHED_CHECK(nt >= now_ - cfg_.time_tol,
+                     "arrival source moved backwards in time");
       now_ = std::max(now_, nt);
       admit_pending(source, result);
       continue;

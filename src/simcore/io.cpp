@@ -123,7 +123,7 @@ void write_instance(std::ostream& os, const Instance& instance) {
         write_curve(os, p.curve);
       }
     }
-    if (j.weight != 1.0) os << " w " << j.weight;
+    if (j.weight != 1.0) os << " w " << j.weight;  // lint: float-eq-ok
     if (j.tag.cls != JobTag::Class::kNone || j.tag.phase >= 0) {
       os << " tag " << j.tag.phase << ' ' << to_string(j.tag.cls) << ' '
          << j.tag.index;

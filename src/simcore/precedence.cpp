@@ -1,7 +1,6 @@
 #include "simcore/precedence.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 #include <stdexcept>
 

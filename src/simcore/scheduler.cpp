@@ -1,8 +1,9 @@
 #include "simcore/scheduler.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "check/contract.hpp"
 
 namespace parsched {
 
@@ -56,7 +57,7 @@ std::vector<std::size_t> SchedulerContext::smallest_remaining(
 }
 
 std::size_t SchedulerContext::min_remaining() const {
-  assert(!alive_.empty());
+  PARSCHED_CHECK(!alive_.empty(), "min_remaining over an empty context");
   std::size_t best = 0;
   const SrptLess less{alive_};
   for (std::size_t i = 1; i < alive_.size(); ++i) {

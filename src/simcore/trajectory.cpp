@@ -1,12 +1,12 @@
 #include "simcore/trajectory.hpp"
 
-#include <cassert>
+#include "check/contract.hpp"
 
 namespace parsched {
 
 void TrajectoryRecorder::on_arrival(double t, const Job& job) {
   auto [it, inserted] = traj_.try_emplace(job.id);
-  assert(inserted && "duplicate arrival for job id");
+  PARSCHED_CHECK(inserted, "duplicate arrival for job id");
   it->second.job = job;
   it->second.remaining.append(t, job.size);
 }
@@ -16,14 +16,14 @@ void TrajectoryRecorder::on_decision(double t, std::span<const AliveJob> alive,
   (void)shares;
   for (const AliveJob& a : alive) {
     auto it = traj_.find(a.id);
-    assert(it != traj_.end());
+    PARSCHED_CHECK(it != traj_.end(), "decision for an unknown job");
     it->second.remaining.append(t, a.remaining);
   }
 }
 
 void TrajectoryRecorder::on_completion(double t, const Job& job) {
   auto it = traj_.find(job.id);
-  assert(it != traj_.end());
+  PARSCHED_CHECK(it != traj_.end(), "completion of an unknown job");
   it->second.remaining.append(t, 0.0);
   it->second.completion = t;
 }
@@ -62,7 +62,7 @@ void CountTracker::on_arrival(double t, const Job& job) {
 void CountTracker::on_completion(double t, const Job& job) {
   (void)job;
   --alive_;
-  assert(alive_ >= 0);
+  PARSCHED_CHECK(alive_ >= 0, "more completions than arrivals");
   record(t);
 }
 

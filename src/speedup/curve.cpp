@@ -1,11 +1,12 @@
 #include "speedup/curve.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "check/contract.hpp"
 
 namespace parsched {
 
@@ -27,8 +28,8 @@ SpeedupCurve SpeedupCurve::power_law(double alpha) {
   if (alpha < 0.0 || alpha > 1.0) {
     throw std::invalid_argument("power_law alpha must be in [0, 1]");
   }
-  if (alpha == 0.0) return sequential();
-  if (alpha == 1.0) return fully_parallel();
+  if (alpha == 0.0) return sequential();      // lint: float-eq-ok
+  if (alpha == 1.0) return fully_parallel();  // lint: float-eq-ok
   SpeedupCurve c;
   c.kind_ = Kind::kPowerLaw;
   c.alpha_ = alpha;
@@ -41,7 +42,8 @@ SpeedupCurve SpeedupCurve::piecewise_linear(
   if (knots.empty() || knots.front().first > 1.0) {
     knots.insert(knots.begin(), {1.0, 1.0});
   }
-  if (knots.front().first != 1.0 || knots.front().second != 1.0) {
+  if (knots.front().first != 1.0 ||   // lint: float-eq-ok
+      knots.front().second != 1.0) {  // lint: float-eq-ok
     throw std::invalid_argument("piecewise curve must start at (1, 1)");
   }
   double prev_slope = 1.0;  // slope of the [0,1] segment
@@ -69,7 +71,7 @@ SpeedupCurve SpeedupCurve::piecewise_linear(
 }
 
 double SpeedupCurve::rate(double x) const {
-  assert(x >= 0.0);
+  PARSCHED_DCHECK(x >= 0.0, "negative processor share");
   if (x <= 1.0) return x;  // all curves agree with Γ(x) = x on [0, 1]
   switch (kind_) {
     case Kind::kFullyParallel:
@@ -99,12 +101,12 @@ double SpeedupCurve::rate(double x) const {
 }
 
 double SpeedupCurve::marginal(double k) const {
-  assert(k >= 0.0);
+  PARSCHED_DCHECK(k >= 0.0, "negative processor count");
   return rate(k + 1.0) - rate(k);
 }
 
 double SpeedupCurve::inverse(double g) const {
-  assert(g >= 0.0);
+  PARSCHED_DCHECK(g >= 0.0, "negative target rate");
   if (g <= 1.0) return g;  // Γ(x) = x on [0, 1]
   switch (kind_) {
     case Kind::kFullyParallel:
@@ -181,7 +183,7 @@ bool operator==(const SpeedupCurve& a, const SpeedupCurve& b) {
 
 bool is_valid_speedup_curve(const SpeedupCurve& c, double x_max, int samples,
                             double tol) {
-  if (c.rate(0.0) != 0.0) return false;
+  if (c.rate(0.0) != 0.0) return false;  // lint: float-eq-ok
   // Γ(x) = x on [0, 1].
   for (int i = 0; i <= 16; ++i) {
     const double x = static_cast<double>(i) / 16.0;
@@ -205,7 +207,7 @@ bool is_valid_speedup_curve(const SpeedupCurve& c, double x_max, int samples,
 
 bool proposition1_holds(const SpeedupCurve& c, double B, double C,
                         double tol) {
-  assert(B >= C && C > 0.0);
+  PARSCHED_CHECK(B >= C && C > 0.0, "Proposition 1 needs B >= C > 0");
   return c.rate(B) / c.rate(C) <= B / C + tol;
 }
 

@@ -7,10 +7,11 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+
+#include "check/contract.hpp"
 
 namespace parsched {
 
@@ -39,7 +40,8 @@ inline constexpr double kEps = 1e-9;
 /// Clamp tiny negatives (numerical dust) to exactly zero.
 [[nodiscard]] inline double clamp_nonneg(double x, double tol = kEps) {
   if (x < 0.0) {
-    assert(x > -1e-6 && "value is negative beyond numerical tolerance");
+    PARSCHED_CHECK(x > -1e-6,
+                   "value is negative beyond numerical tolerance");
     (void)tol;
     return 0.0;
   }
@@ -55,13 +57,14 @@ inline constexpr double kEps = 1e-9;
 
 /// Number of initial job classes for sizes in [1, P]: ceil(log2 P), min 1.
 [[nodiscard]] inline int num_size_classes(double P) {
-  assert(P >= 1.0);
+  PARSCHED_CHECK(P >= 1.0, "need P >= 1");
   return std::max(1, static_cast<int>(std::ceil(std::log2(P))));
 }
 
 /// log base (1/r); used throughout the Section-4 adversary.
 [[nodiscard]] inline double log_inv(double r, double x) {
-  assert(r > 0.0 && r < 1.0 && x > 0.0);
+  PARSCHED_CHECK(r > 0.0 && r < 1.0 && x > 0.0,
+                 "log_inv needs r in (0, 1) and x > 0");
   return std::log(x) / std::log(1.0 / r);
 }
 
@@ -75,7 +78,8 @@ struct AdversaryConstants {
 };
 
 [[nodiscard]] inline AdversaryConstants adversary_constants(double alpha) {
-  assert(alpha >= 0.0 && alpha < 1.0);
+  PARSCHED_CHECK(alpha >= 0.0 && alpha < 1.0,
+                 "adversary constants need alpha in [0, 1)");
   AdversaryConstants c;
   c.alpha = alpha;
   c.epsilon = 1.0 - alpha;
@@ -87,7 +91,8 @@ struct AdversaryConstants {
 
 /// Theorem 1's competitive-ratio envelope (up to the O(1)): 4^{1/(1-a)} log2 P.
 [[nodiscard]] inline double theorem1_envelope(double alpha, double P) {
-  assert(alpha < 1.0 && P >= 2.0);
+  PARSCHED_CHECK(alpha < 1.0 && P >= 2.0,
+                 "Theorem 1 envelope needs alpha < 1 and P >= 2");
   return std::pow(4.0, 1.0 / (1.0 - alpha)) * std::log2(P);
 }
 
@@ -101,8 +106,7 @@ struct AdversaryConstants {
 /// Round x to the nearest integer and assert it was already integral.
 [[nodiscard]] inline std::int64_t round_integral(double x, double tol = 1e-6) {
   const double r = std::round(x);
-  assert(std::fabs(x - r) <= tol && "expected an integral value");
-  (void)tol;
+  PARSCHED_CHECK(std::fabs(x - r) <= tol, "expected an integral value");
   return static_cast<std::int64_t>(r);
 }
 

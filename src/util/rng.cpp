@@ -1,7 +1,8 @@
 #include "util/rng.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "check/contract.hpp"
 
 namespace parsched {
 namespace {
@@ -48,12 +49,12 @@ double Rng::uniform01() {
 }
 
 double Rng::uniform(double lo, double hi) {
-  assert(lo <= hi);
+  PARSCHED_DCHECK(lo <= hi, "uniform needs lo <= hi");
   return lo + (hi - lo) * uniform01();
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PARSCHED_DCHECK(lo <= hi, "uniform_int needs lo <= hi");
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = max() - max() % span;
@@ -63,19 +64,20 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 double Rng::exponential(double rate) {
-  assert(rate > 0.0);
+  PARSCHED_DCHECK(rate > 0.0, "exponential needs a positive rate");
   double u = uniform01();
   while (u <= 0.0) u = uniform01();
   return -std::log(u) / rate;
 }
 
 double Rng::log_uniform(double lo, double hi) {
-  assert(0.0 < lo && lo <= hi);
+  PARSCHED_DCHECK(0.0 < lo && lo <= hi, "log_uniform needs 0 < lo <= hi");
   return std::exp(uniform(std::log(lo), std::log(hi)));
 }
 
 double Rng::bounded_pareto(double lo, double hi, double shape) {
-  assert(0.0 < lo && lo < hi && shape > 0.0);
+  PARSCHED_DCHECK(0.0 < lo && lo < hi && shape > 0.0,
+                  "bounded_pareto needs 0 < lo < hi and positive shape");
   const double la = std::pow(lo, shape);
   const double ha = std::pow(hi, shape);
   const double u = uniform01();
@@ -85,13 +87,13 @@ double Rng::bounded_pareto(double lo, double hi, double shape) {
 bool Rng::bernoulli(double p) { return uniform01() < p; }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  PARSCHED_CHECK(!weights.empty(), "weighted_index of an empty vector");
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    PARSCHED_CHECK(w >= 0.0, "weights must be nonnegative");
     total += w;
   }
-  assert(total > 0.0);
+  PARSCHED_CHECK(total > 0.0, "weights must not all be zero");
   double x = uniform01() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     x -= weights[i];

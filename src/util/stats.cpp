@@ -1,9 +1,9 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "check/contract.hpp"
 #include "util/rng.hpp"
 
 namespace parsched {
@@ -51,8 +51,8 @@ double RunningStats::min() const { return n_ ? min_ : 0.0; }
 double RunningStats::max() const { return n_ ? max_ : 0.0; }
 
 double percentile(std::vector<double> values, double p) {
-  assert(!values.empty());
-  assert(0.0 <= p && p <= 100.0);
+  PARSCHED_CHECK(!values.empty(), "percentile of an empty sample");
+  PARSCHED_CHECK(0.0 <= p && p <= 100.0, "percentile p outside [0, 100]");
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
@@ -64,8 +64,8 @@ double percentile(std::vector<double> values, double p) {
 
 LinearFit linear_fit(const std::vector<double>& x,
                      const std::vector<double>& y) {
-  assert(x.size() == y.size());
-  assert(x.size() >= 2);
+  PARSCHED_CHECK(x.size() == y.size(), "linear_fit needs paired samples");
+  PARSCHED_CHECK(x.size() >= 2, "linear_fit needs at least two points");
   const double n = static_cast<double>(x.size());
   double sx = 0, sy = 0;
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -96,8 +96,9 @@ LinearFit linear_fit(const std::vector<double>& x,
 Interval bootstrap_mean_ci(const std::vector<double>& values,
                            double confidence, int resamples,
                            std::uint64_t seed) {
-  assert(!values.empty());
-  assert(0.0 < confidence && confidence < 1.0);
+  PARSCHED_CHECK(!values.empty(), "bootstrap of an empty sample");
+  PARSCHED_CHECK(0.0 < confidence && confidence < 1.0,
+                 "confidence must lie in (0, 1)");
   Rng rng(seed);
   std::vector<double> means;
   means.reserve(static_cast<std::size_t>(resamples));

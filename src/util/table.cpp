@@ -1,22 +1,24 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
 Table::Table(std::vector<std::string> headers, int precision)
     : headers_(std::move(headers)), precision_(precision) {
-  assert(!headers_.empty());
+  PARSCHED_CHECK(!headers_.empty(), "a table needs at least one column");
 }
 
 void Table::add_row(std::vector<Cell> row) {
-  assert(row.size() == headers_.size());
+  PARSCHED_CHECK(row.size() == headers_.size(),
+                 "row width must match the header");
   rows_.push_back(std::move(row));
 }
 

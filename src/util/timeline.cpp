@@ -1,14 +1,16 @@
 #include "util/timeline.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "check/contract.hpp"
 
 namespace parsched {
 
 void StepFunction::append(double t, double value) {
   if (!times_.empty()) {
-    assert(t >= times_.back());
+    PARSCHED_CHECK(t >= times_.back(),
+                   "StepFunction breakpoints must be appended in order");
     if (t == times_.back()) {
       values_.back() = value;
       return;
@@ -26,7 +28,7 @@ double StepFunction::value(double t) const {
 }
 
 double StepFunction::integrate(double a, double b) const {
-  assert(a <= b);
+  PARSCHED_CHECK(a <= b, "integration bounds out of order");
   if (times_.empty() || a == b) return 0.0;
   double total = 0.0;
   // Segment [times_[i], next) carries values_[i]; before front it is 0.
@@ -51,7 +53,8 @@ double StepFunction::back_time() const {
 
 void PiecewiseLinear::append(double t, double value) {
   if (!times_.empty()) {
-    assert(t >= times_.back());
+    PARSCHED_CHECK(t >= times_.back(),
+                   "PiecewiseLinear knots must be appended in order");
     if (t == times_.back()) {
       values_.back() = value;
       return;
@@ -84,13 +87,13 @@ double PiecewiseLinear::right_derivative(double t) const {
   std::size_t i = locate(t);
   if (i == static_cast<std::size_t>(-1)) i = 0;
   // If t sits exactly on a knot, the right derivative is the next segment's.
-  assert(i + 1 < times_.size());
+  PARSCHED_DCHECK(i + 1 < times_.size());
   const double dt = times_[i + 1] - times_[i];
   return dt > 0.0 ? (values_[i + 1] - values_[i]) / dt : 0.0;
 }
 
 double PiecewiseLinear::integrate(double a, double b) const {
-  assert(a <= b);
+  PARSCHED_CHECK(a <= b, "integration bounds out of order");
   if (times_.empty() || a == b) return 0.0;
   auto val = [this](double t) { return value(t); };
   double total = 0.0;

@@ -1,9 +1,9 @@
 #include "workload/adversary.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "util/mathx.hpp"
 
 namespace parsched {
@@ -54,7 +54,7 @@ void AdversarySource::schedule_phase(int i) {
       outcome_.phase_start.empty()
           ? 0.0
           : outcome_.phase_start.back() + outcome_.phase_length.back();
-  assert(p_i >= 2.0 && "phase too short for its unit jobs");
+  PARSCHED_CHECK(p_i >= 2.0, "phase too short for its unit jobs");
   outcome_.phase_start.push_back(s_i);
   outcome_.phase_length.push_back(p_i);
   current_phase_ = i;
@@ -116,8 +116,8 @@ std::vector<Job> AdversarySource::take(double t, const EngineView& view) {
     pending_.pop_front();
   }
   if (!part2_ && t >= decision_time_ - tol) {
-    assert(pending_.empty() &&
-           "all phase arrivals precede the midpoint decision");
+    PARSCHED_CHECK(pending_.empty(),
+                   "all phase arrivals precede the midpoint decision");
     const double short_backlog =
         view.remaining_tagged(JobTag::Class::kShort, current_phase_);
     if (short_backlog >= params_.threshold) {

@@ -1,6 +1,7 @@
 // Engine guard rails and EngineView queries.
 #include <gtest/gtest.h>
 
+#include "check/invariant_auditor.hpp"
 #include "sched/intermediate_srpt.hpp"
 #include "simcore/engine.hpp"
 #include "util/mathx.hpp"
@@ -30,6 +31,88 @@ class SpinScheduler final : public Scheduler {
     return a;
   }
 };
+
+// A policy that overcommits: hands every alive job a whole machine even
+// when that exceeds m in total (Σ shares > m).
+class InfeasibleScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Infeasible"; }
+  Allocation allocate(const SchedulerContext& ctx) override {
+    Allocation a;
+    a.shares.assign(ctx.alive().size(), 1.0);
+    return a;
+  }
+};
+
+// A policy that emits a negative share.
+class NegativeShareScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "NegativeShare"; }
+  Allocation allocate(const SchedulerContext& ctx) override {
+    Allocation a;
+    a.shares.assign(ctx.alive().size(), 0.5);
+    a.shares[0] = -0.5;
+    return a;
+  }
+};
+
+// A policy that allocates nothing and never asks to be re-invoked.
+class StallingScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Stalling"; }
+  Allocation allocate(const SchedulerContext& ctx) override {
+    Allocation a;
+    a.shares.assign(ctx.alive().size(), 0.0);
+    return a;
+  }
+};
+
+TEST(EngineGuards, EngineRejectsInfeasibleAllocation) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 1.0, 0.5),
+                    make_job(2, 0.0, 1.0, 0.5)});
+  InfeasibleScheduler sched;
+  EXPECT_THROW((void)simulate(inst, sched), std::logic_error);
+}
+
+TEST(EngineGuards, AuditorCatchesInfeasibleAllocation) {
+  // With the engine's own validation off, the auditor is the safety net.
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 1.0, 0.5),
+                    make_job(2, 0.0, 1.0, 0.5)});
+  InfeasibleScheduler sched;
+  EngineConfig cfg;
+  cfg.validate_allocations = false;
+  InvariantAuditor auditor(inst.machines());
+  (void)simulate(inst, sched, cfg, {&auditor});
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_NE(auditor.report().find("overcommitted"), std::string::npos);
+  EXPECT_THROW(auditor.require_clean(), AuditFailure);
+}
+
+TEST(EngineGuards, EngineRejectsNegativeShare) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 1.0, 0.5)});
+  NegativeShareScheduler sched;
+  EXPECT_THROW((void)simulate(inst, sched), std::logic_error);
+}
+
+TEST(EngineGuards, AuditorCatchesNegativeShare) {
+  Instance inst(2, {make_job(0, 0.0, 1.0, 0.5), make_job(1, 0.0, 1.0, 0.5)});
+  NegativeShareScheduler sched;
+  EngineConfig cfg;
+  cfg.validate_allocations = false;
+  InvariantAuditor auditor(inst.machines());
+  // Once the positive-share job completes, the negative-share job makes no
+  // progress and the run stalls — but the auditor has flagged the bad
+  // allocation by then.
+  EXPECT_THROW((void)simulate(inst, sched, cfg, {&auditor}), SimulationStall);
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_NE(auditor.report().find("negative share"), std::string::npos);
+}
+
+TEST(EngineGuards, StallingSchedulerRaisesSimulationStall) {
+  Instance inst(1, {make_job(0, 0.0, 1.0, 0.5)});
+  StallingScheduler sched;
+  EXPECT_THROW((void)simulate(inst, sched), SimulationStall);
+}
 
 TEST(EngineGuards, MaxDecisionsAborts) {
   Instance inst(1, {make_job(0, 0.0, 1.0, 0.5)});

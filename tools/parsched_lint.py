@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""parsched_lint — project-specific lint rules for the parsched codebase.
+
+Rules (scoped to src/ by default):
+
+  raw-assert        `assert(...)` and `#include <cassert>` / `<assert.h>`
+                    are banned in src/: raw asserts vanish under NDEBUG,
+                    i.e. in the RelWithDebInfo builds every measurement
+                    runs in. Use PARSCHED_CHECK / PARSCHED_DCHECK from
+                    check/contract.hpp instead. (static_assert is fine;
+                    check/contract.hpp itself is exempt.)
+
+  float-eq          bare float-literal == / != comparisons are banned
+                    outside util/mathx.hpp (use approx_eq / leq_tol, or
+                    annotate a provably-exact comparison with a trailing
+                    `// lint: float-eq-ok`). Comparisons against kInf
+                    carry no float literal and are allowed.
+
+  pragma-once       every header must contain `#pragma once`.
+
+  include-style     project includes must be spelled relative to src/
+                    with their subsystem prefix (`#include
+                    "simcore/engine.hpp"`), never bare (`#include
+                    "engine.hpp"`).
+
+Exit status 0 when clean, 1 when any rule fires; findings are printed as
+`file:line: [rule] message` so editors and CI annotate them directly.
+
+Usage:
+  tools/parsched_lint.py [--root DIR] [paths...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+HEADER_SUFFIXES = {".hpp", ".h"}
+
+# Subsystem directories under src/ that project includes must spell out.
+KNOWN_PREFIXES = (
+    "analysis/",
+    "check/",
+    "sched/",
+    "simcore/",
+    "speedup/",
+    "util/",
+    "workload/",
+)
+
+SUPPRESS_FLOAT_EQ = "lint: float-eq-ok"
+
+RE_RAW_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
+RE_CASSERT_INCLUDE = re.compile(r'#\s*include\s*<(cassert|assert\.h)>')
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_STRING = re.compile(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'')
+# A float literal: digits with a decimal point or an exponent (1.0, .5, 1e-9).
+FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+\.)(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+"
+RE_FLOAT_EQ = re.compile(
+    r"(?:(?:{f})\s*[=!]=)|(?:[=!]=\s*(?:{f}))".format(f=FLOAT_LIT)
+)
+RE_PROJECT_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def strip_code_noise(line: str) -> str:
+    """Drop string/char literals and // comments so rules see only code."""
+    line = RE_STRING.sub('""', line)
+    return RE_LINE_COMMENT.sub("", line)
+
+
+def lint_file(path: Path, rel: str, findings: list[str]) -> None:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        findings.append(f"{rel}:1: [io] unreadable: {exc}")
+        return
+
+    is_header = path.suffix in HEADER_SUFFIXES
+    is_contract = rel.replace("\\", "/").endswith("check/contract.hpp")
+    is_mathx = rel.replace("\\", "/").endswith("util/mathx.hpp")
+    in_src = "/src/" in f"/{rel}" or rel.startswith("src/")
+
+    if is_header and "#pragma once" not in text:
+        findings.append(f"{rel}:1: [pragma-once] header lacks '#pragma once'")
+
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        # Cheap block-comment tracking: good enough for this codebase's
+        # style (no code after '*/' on the same line).
+        line = raw
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+                line = line.split("*/", 1)[1]
+            else:
+                continue
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+            line = line.split("/*", 1)[0]
+
+        code = strip_code_noise(line)
+
+        if in_src and not is_contract:
+            if RE_CASSERT_INCLUDE.search(code):
+                findings.append(
+                    f"{rel}:{lineno}: [raw-assert] <cassert> include; use "
+                    'check/contract.hpp'
+                )
+            stripped = RE_RAW_ASSERT.sub(
+                "", code.replace("static_assert", "")
+            )
+            if stripped != code.replace("static_assert", ""):
+                findings.append(
+                    f"{rel}:{lineno}: [raw-assert] raw assert(); use "
+                    "PARSCHED_CHECK / PARSCHED_DCHECK"
+                )
+
+        if (
+            in_src
+            and not is_mathx
+            and SUPPRESS_FLOAT_EQ not in raw
+            and RE_FLOAT_EQ.search(code)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: [float-eq] bare float-literal ==/!= "
+                "comparison; use approx_eq/leq_tol from util/mathx.hpp or "
+                f"annotate with '// {SUPPRESS_FLOAT_EQ}'"
+            )
+
+        m = RE_PROJECT_INCLUDE.search(code)
+        if m and in_src:
+            target = m.group(1)
+            if not target.startswith(KNOWN_PREFIXES):
+                findings.append(
+                    f"{rel}:{lineno}: [include-style] project include "
+                    f'"{target}" must be spelled src/-relative with its '
+                    "subsystem prefix (e.g. \"simcore/engine.hpp\")"
+                )
+
+
+def collect(root: Path, args_paths: list[str]) -> list[Path]:
+    if args_paths:
+        out: list[Path] = []
+        for a in args_paths:
+            p = Path(a)
+            if p.is_dir():
+                out.extend(
+                    f
+                    for f in sorted(p.rglob("*"))
+                    if f.suffix in SOURCE_SUFFIXES
+                )
+            else:
+                out.append(p)
+        return out
+    src = root / "src"
+    return [f for f in sorted(src.rglob("*")) if f.suffix in SOURCE_SUFFIXES]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repository root (default: parent of tools/)",
+    )
+    ap.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: <root>/src)",
+    )
+    args = ap.parse_args()
+    root = Path(args.root).resolve()
+
+    findings: list[str] = []
+    files = collect(root, args.paths)
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(root))
+        except ValueError:
+            rel = str(f)
+        lint_file(f, rel, findings)
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"parsched_lint: {len(files)} files, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
