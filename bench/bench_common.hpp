@@ -8,12 +8,21 @@
 // AuditFailure) on the first violated simulation invariant. CI smoke
 // runs set it; leave it unset for timed measurements — the auditor adds
 // per-decision bookkeeping that would pollute perf numbers.
+// Setting PARSCHED_REPORT=1 makes every experiment additionally emit a
+// machine-readable BENCH_<slug>.json (obs/report.hpp schema) next to its
+// CSV: emit_experiment() mirrors tables automatically, and benches that
+// want per-run wall time + profiling buckets use timed_run() /
+// write_bench_report() below. PARSCHED_REPORT_DIR redirects the output.
 #pragma once
 
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "analysis/adversary_eval.hpp"
 #include "check/invariant_auditor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sched/opt/relaxations.hpp"
 #include "sched/registry.hpp"
 #include "simcore/engine.hpp"
@@ -49,6 +58,33 @@ inline AdversaryPoint run_adversary_point(const std::string& policy,
 
 inline std::vector<std::string> fast_portfolio() {
   return adversary_portfolio();
+}
+
+/// Simulate `policy` on `inst` with wall-time measurement and (when
+/// reporting is enabled) per-phase engine profiling, returning the
+/// RunReport for a BenchReport. The SimResult is discarded; timed runs
+/// exist for the report.
+inline obs::RunReport timed_run(const std::string& policy,
+                                const Instance& inst,
+                                EngineConfig config = {}) {
+  auto sched = make_scheduler(policy);
+  if (obs::report_enabled()) config.collect_stats = true;
+  const double t0 = obs::monotonic_seconds();
+  const SimResult r = simulate(inst, *sched, config);
+  const double wall = obs::monotonic_seconds() - t0;
+  return obs::RunReport::from_result(sched->name(), inst.machines(), r,
+                                     wall);
+}
+
+/// Write `runs` as BENCH_<slug>.json when PARSCHED_REPORT=1 (no-op
+/// otherwise); attaches the global metrics registry snapshot.
+inline void write_bench_report(const std::string& slug,
+                               std::vector<obs::RunReport> runs) {
+  if (!obs::report_enabled()) return;
+  obs::BenchReport report(slug);
+  for (obs::RunReport& r : runs) report.add_run(std::move(r));
+  report.set_metrics(obs::MetricsRegistry::global().snapshot());
+  report.write(obs::report_path(slug));
 }
 
 }  // namespace parsched::bench

@@ -3,8 +3,19 @@
 // Not a paper experiment: establishes that the substrate scales to the
 // instance sizes the reproduction sweeps use (hundreds of thousands of
 // jobs) on a laptop, as the repro band promises.
+//
+// With PARSCHED_REPORT=1 this binary is also the canonical timed
+// baseline of the perf trajectory: after the microbenchmarks it runs one
+// instrumented pass per engine policy (EngineConfig::collect_stats) and
+// writes BENCH_e11_engine_perf.json — wall time, decision counts, and
+// the decide/solver/observer per-phase buckets. Pass
+// --benchmark_filter=NONE to emit the report without the (slow)
+// microbenchmark sweep.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "bench_common.hpp"
 #include "sched/registry.hpp"
 #include "sched/opt/plan.hpp"
 #include "sched/opt/relaxations.hpp"
@@ -73,7 +84,28 @@ void BM_PlanExecution(benchmark::State& state) {
 BENCHMARK(BM_PlanExecution)->Arg(512)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
+// One instrumented, timed pass per policy on the 10k-job perf instance;
+// written as the machine-readable perf baseline when PARSCHED_REPORT=1.
+void emit_perf_report() {
+  if (!obs::report_enabled()) return;
+  const Instance inst = make_random_instance(perf_config(10000));
+  std::vector<obs::RunReport> runs;
+  for (const char* policy : {"isrpt", "equi", "greedy", "seq-srpt"}) {
+    runs.push_back(bench::timed_run(policy, inst));
+  }
+  bench::write_bench_report("e11_engine_perf", std::move(runs));
+  std::cout << "perf baseline written to "
+            << obs::report_path("e11_engine_perf") << "\n";
+}
+
 }  // namespace
 }  // namespace parsched
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  parsched::emit_perf_report();
+  return 0;
+}

@@ -1,14 +1,19 @@
-// trace_viewer — see what a policy actually does, as an ASCII Gantt chart.
+// trace_viewer — see what a policy actually does, two ways.
 //
 //   $ ./trace_viewer --policy=isrpt --machines=4 --jobs=12
 //   $ ./trace_viewer --policy=greedy --csv=trace.csv
+//   $ ./trace_viewer --policy=isrpt --chrome=run.trace.json
 //
 // Runs a small random instance, renders the allocation timeline per job
-// (glyphs: '.' fractional share, ':' one processor, '#' more than one),
-// and reports machine utilization. Optionally dumps the raw segments.
+// as an ASCII Gantt chart (glyphs: '.' fractional share, ':' one
+// processor, '#' more than one), and reports machine utilization.
+// Optionally dumps the raw segments as CSV and — the real-viewer path —
+// exports the same schedule as a Chrome trace-event file for Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
 #include <iostream>
 
 #include "analysis/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "sched/registry.hpp"
 #include "simcore/engine.hpp"
 #include "util/options.hpp"
@@ -29,7 +34,8 @@ int main(int argc, char** argv) {
 
   auto sched = make_scheduler(opt.get("policy", "isrpt"));
   AllocationTrace trace;
-  const SimResult r = simulate(inst, *sched, {}, {&trace});
+  obs::TraceExporter exporter;
+  const SimResult r = simulate(inst, *sched, {}, {&trace, &exporter});
 
   std::cout << sched->name() << " on " << inst.size() << " jobs / "
             << inst.machines() << " machines (alpha=" << cfg.alpha_lo
@@ -44,6 +50,12 @@ int main(int argc, char** argv) {
     const std::string path = opt.get("csv", "trace.csv");
     trace.write_csv(path);
     std::cout << "raw segments written to " << path << "\n";
+  }
+  if (opt.has("chrome")) {
+    const std::string path = opt.get("chrome", "run.trace.json");
+    exporter.write_chrome_trace(path);
+    std::cout << "Chrome trace written to " << path
+              << " (open in https://ui.perfetto.dev)\n";
   }
   return 0;
 }

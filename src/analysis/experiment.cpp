@@ -4,6 +4,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "obs/report.hpp"
+
 namespace parsched {
 
 namespace {
@@ -32,9 +34,22 @@ void emit_experiment(const std::string& name, const std::string& claim,
   std::cout << "\n=== " << name << " ===\n";
   if (!claim.empty()) std::cout << claim << "\n";
   table.print(std::cout);
-  const std::string csv = slugify(name) + ".csv";
+  const std::string slug = slugify(name);
+  const std::string csv = slug + ".csv";
   table.write_csv(csv);
   std::cout << "(rows mirrored to " << csv << ")\n";
+  // With PARSCHED_REPORT=1, also mirror the rows to the machine-readable
+  // bench-report schema (obs/report.hpp) — BENCH_<slug>.json seeds the
+  // perf trajectory and feeds offline tooling.
+  if (obs::report_enabled()) {
+    obs::BenchReport report(slug);
+    report.set_meta("claim", claim);
+    report.set_meta("title", name);
+    report.add_table(slug, table);
+    const std::string json_path = obs::report_path(slug);
+    report.write(json_path);
+    std::cout << "(report mirrored to " << json_path << ")\n";
+  }
 }
 
 LinearFit fit_against_log2(const Table& table, const std::string& x_col,

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <stdexcept>
 
 #include "sched/opt/plan.hpp"
+#include "util/fsio.hpp"
 
 namespace parsched {
 
@@ -96,13 +96,15 @@ double AllocationTrace::average_utilization(double t0, double t1) const {
 }
 
 void AllocationTrace::write_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open trace output: " + path);
+  auto out = open_output(path, "trace output");
   out << "job,t0,t1,share\n";
   for (const Segment& s : segments_) {
     out << s.job << ',' << std::setprecision(12) << s.t0 << ',' << s.t1
         << ',' << s.share << '\n';
   }
+  // finish_output flushes and re-checks the stream, so a disk-full or
+  // short write raises instead of leaving a silently truncated CSV.
+  finish_output(out, path);
 }
 
 Plan AllocationTrace::to_plan() const {

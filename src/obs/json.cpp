@@ -1,0 +1,394 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "check/contract.hpp"
+
+namespace parsched::obs {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  PARSCHED_CHECK(res.ec == std::errc(), "double render overflow");
+  return std::string(buf, res.ptr);
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+JsonWriter::~JsonWriter() {
+  // Do not throw from a destructor; unbalanced writers are caught by the
+  // explicit done() assertion at call sites (and by the syntax checker).
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(
+                                                  indent_);
+       ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    PARSCHED_CHECK(!wrote_root_, "JSON: second root value");
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    PARSCHED_CHECK(expecting_value_,
+                   "JSON: object member needs key() before its value");
+    expecting_value_ = false;
+    return;  // key() already emitted the separator and the key
+  }
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  PARSCHED_CHECK(!stack_.empty() && stack_.back() == Frame::kObject,
+                 "JSON: key() outside an object");
+  PARSCHED_CHECK(!expecting_value_, "JSON: key() while a value is pending");
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  newline_indent();
+  os_ << json_quote(name) << (indent_ > 0 ? ": " : ":");
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PARSCHED_CHECK(!stack_.empty() && stack_.back() == Frame::kObject,
+                 "JSON: end_object() without begin_object()");
+  PARSCHED_CHECK(!expecting_value_, "JSON: dangling key at end_object()");
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PARSCHED_CHECK(!stack_.empty() && stack_.back() == Frame::kArray,
+                 "JSON: end_array() without begin_array()");
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  os_ << json_quote(s);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+// --------------------------------------------------------- syntax checker
+
+namespace {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!parse_value()) return fail(error);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters after value";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos_) + ": " + reason_;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      reason_ = "invalid literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value() {
+    if (++depth_ > 512) {
+      reason_ = "nesting too deep";
+      return false;
+    }
+    bool ok = false;
+    if (eof()) {
+      reason_ = "unexpected end of input";
+    } else {
+      switch (peek()) {
+        case '{': ok = parse_object(); break;
+        case '[': ok = parse_array(); break;
+        case '"': ok = parse_string(); break;
+        case 't': ok = literal("true"); break;
+        case 'f': ok = literal("false"); break;
+        case 'n': ok = literal("null"); break;
+        default: ok = parse_number(); break;
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        reason_ = "expected object key string";
+        return false;
+      }
+      if (!parse_string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') {
+        reason_ = "expected ':' after object key";
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool parse_string() {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        reason_ = "raw control character in string";
+        return false;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) break;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || std::isxdigit(static_cast<unsigned char>(
+                             text_[pos_])) == 0) {
+              reason_ = "bad \\u escape";
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          reason_ = "bad escape character";
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    reason_ = "unterminated string";
+    return false;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      reason_ = "invalid number";
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        reason_ = "digit required after decimal point";
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        reason_ = "digit required in exponent";
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string reason_ = "invalid JSON";
+};
+
+}  // namespace
+
+bool json_syntax_valid(std::string_view text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+}  // namespace parsched::obs

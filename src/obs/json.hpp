@@ -1,0 +1,88 @@
+// parsched — minimal streaming JSON emission (and a syntax checker).
+//
+// The trace exporter and report writers need deterministic, correctly
+// escaped JSON without any third-party dependency. JsonWriter is a
+// stack-based streaming emitter: it tracks container nesting, inserts
+// commas, escapes strings, and renders doubles with std::to_chars
+// (shortest round-trip form — stable across runs, so golden-file tests
+// are byte-exact). Misuse (a value where a key is required, unbalanced
+// end_*) trips a PARSCHED_CHECK rather than emitting malformed output.
+//
+// json_syntax_valid() is a strict RFC-8259 syntax checker used by tests
+// and the CLI to prove emitted artifacts parse cleanly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parsched::obs {
+
+/// Render a double the way JsonWriter does: shortest round-trip decimal;
+/// NaN/Inf (not representable in JSON) become null.
+[[nodiscard]] std::string json_number(double v);
+
+/// Escape and quote a string literal.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per level;
+  /// 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 0);
+  ~JsonWriter();
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned int v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once the root container has been closed.
+  [[nodiscard]] bool done() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;     // per frame: no element emitted yet
+  bool expecting_value_ = false;  // a key() awaits its value
+  bool wrote_root_ = false;
+};
+
+/// Strict JSON syntax check (full RFC-8259 grammar, no extensions).
+/// On failure returns false and, when `error` is non-null, sets a
+/// human-readable "offset N: reason" message.
+[[nodiscard]] bool json_syntax_valid(std::string_view text,
+                                     std::string* error = nullptr);
+
+}  // namespace parsched::obs

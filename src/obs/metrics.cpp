@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+#include "check/contract.hpp"
+
+namespace parsched::obs {
+
+double monotonic_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+HistogramData::HistogramData(std::vector<double> upper_bounds)
+    : bounds(std::move(upper_bounds)), counts(bounds.size() + 1, 0) {
+  PARSCHED_CHECK(std::is_sorted(bounds.begin(), bounds.end()),
+                 "histogram bounds must be sorted ascending");
+}
+
+void HistogramData::add(double value) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  counts[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  total += 1;
+  sum += value;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1) {
+  PARSCHED_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be sorted ascending");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData d;
+  d.bounds = bounds_;
+  d.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    d.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  d.total = total_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  return d;
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+struct MetricsRegistry::Instrument {
+  std::string name;
+  MetricSample::Kind kind = MetricSample::Kind::kCounter;
+  Counter counter;
+  Gauge gauge;
+  TimerStat timer;
+  std::unique_ptr<Histogram> histogram;  // kHistogram only
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(
+    const std::string& name, MetricSample::Kind kind,
+    std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    Instrument& ins = *it->second;
+    if (ins.kind != kind) {
+      throw std::logic_error("metric '" + name +
+                             "' already registered with a different kind");
+    }
+    if (kind == MetricSample::Kind::kHistogram &&
+        ins.histogram->snapshot().bounds != bounds) {
+      throw std::logic_error("histogram '" + name +
+                             "' already registered with different buckets");
+    }
+    return ins;
+  }
+  Instrument& ins = instruments_.emplace_back();
+  ins.name = name;
+  ins.kind = kind;
+  if (kind == MetricSample::Kind::kHistogram) {
+    ins.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  by_name_.emplace(name, &ins);
+  return ins;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return find_or_create(name, MetricSample::Kind::kCounter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return find_or_create(name, MetricSample::Kind::kGauge, {}).gauge;
+}
+
+TimerStat& MetricsRegistry::timer(const std::string& name) {
+  return find_or_create(name, MetricSample::Kind::kTimer, {}).timer;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  return *find_or_create(name, MetricSample::Kind::kHistogram,
+                         std::move(upper_bounds))
+              .histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(instruments_.size());
+    for (const Instrument& ins : instruments_) {
+      MetricSample s;
+      s.name = ins.name;
+      s.kind = ins.kind;
+      switch (ins.kind) {
+        case MetricSample::Kind::kCounter:
+          s.value = static_cast<double>(ins.counter.value());
+          break;
+        case MetricSample::Kind::kGauge:
+          s.value = ins.gauge.value();
+          break;
+        case MetricSample::Kind::kTimer:
+          s.value = ins.timer.seconds();
+          s.count = ins.timer.count();
+          break;
+        case MetricSample::Kind::kHistogram:
+          s.histogram = ins.histogram->snapshot();
+          break;
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace parsched::obs

@@ -1,0 +1,190 @@
+// parsched — the metrics registry: counters, gauges, timers, histograms.
+//
+// Observability pillar 1 (see docs/API.md §obs/). A MetricsRegistry is a
+// named collection of four instrument kinds, all safe for concurrent use
+// from multiple threads (the same lock-free atomic style as the contract
+// counters in check/contract.hpp):
+//
+//   Counter    monotone u64 (events, decisions, bytes)
+//   Gauge      last-write-wins double (alive jobs, backlog)
+//   TimerStat  accumulated wall-clock seconds + call count
+//   Histogram  fixed upper-bound buckets + count/sum (latencies, sizes)
+//
+// Instruments are created on first lookup and live as long as the
+// registry; the returned references are stable (instruments are stored in
+// a deque behind a mutex, so registration never invalidates them).
+// `snapshot()` captures everything for serialization (obs/report.hpp).
+//
+// This header is also the project's only sanctioned clock:
+// `monotonic_seconds()` wraps std::chrono::steady_clock, and
+// parsched_lint's `raw-chrono` rule bans raw std::chrono / clock() use in
+// src/ outside src/obs/ — all timing flows through here so it can be
+// disabled (or audited) uniformly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace parsched::obs {
+
+/// Monotonic wall-clock reading in seconds. The zero point is arbitrary;
+/// only differences are meaningful.
+[[nodiscard]] double monotonic_seconds();
+
+/// A captured fixed-bucket histogram (also used directly as a
+/// single-threaded accumulator, e.g. by the engine's RunStats).
+/// `bounds` are inclusive upper bounds; an implicit +inf bucket catches
+/// the overflow, so `counts.size() == bounds.size() + 1`.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  double sum = 0.0;
+
+  HistogramData() = default;
+  explicit HistogramData(std::vector<double> upper_bounds);
+
+  /// Record one observation (single-threaded accumulation path).
+  void add(double value);
+
+  [[nodiscard]] double mean() const {
+    return total == 0 ? 0.0 : sum / static_cast<double>(total);
+  }
+};
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated wall-clock time. Feed it with ScopedTimer or add() raw
+/// durations measured via monotonic_seconds().
+class TimerStat {
+ public:
+  void add(double seconds) {
+    seconds_.fetch_add(seconds, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double seconds() const {
+    return seconds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> seconds_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Thread-safe fixed-bucket histogram.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+  [[nodiscard]] HistogramData snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// RAII wall-clock span feeding a TimerStat. A null timer is a no-op, so
+/// call sites can keep one unconditional ScopedTimer and pay nothing when
+/// metrics are disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat* timer)
+      : timer_(timer), start_(timer ? monotonic_seconds() : 0.0) {}
+  ~ScopedTimer() {
+    if (timer_ != nullptr) timer_->add(monotonic_seconds() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* timer_;
+  double start_;
+};
+
+/// One captured instrument (name + kind + values).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kTimer, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;          ///< counter/gauge value, timer seconds
+  std::uint64_t count = 0;     ///< timer call count
+  HistogramData histogram;     ///< kHistogram only
+};
+
+/// Point-in-time capture of a whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Lookup by name; nullptr when absent.
+  [[nodiscard]] const MetricSample* find(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();   // out of line: Instrument is incomplete here
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References remain valid for the registry's lifetime.
+  /// Looking up an existing name with a different instrument kind (or, for
+  /// histograms, different bounds) throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  TimerStat& timer(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Process-wide default registry (benches, CLI). Library code takes a
+  /// registry by pointer instead of reaching for this.
+  static MetricsRegistry& global();
+
+ private:
+  struct Instrument;
+  Instrument& find_or_create(const std::string& name,
+                             MetricSample::Kind kind,
+                             std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::deque<Instrument> instruments_;
+  std::unordered_map<std::string, Instrument*> by_name_;
+};
+
+}  // namespace parsched::obs

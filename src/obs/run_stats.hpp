@@ -1,0 +1,53 @@
+// parsched — per-run engine profiling buckets.
+//
+// When EngineConfig::collect_stats is set, the engine splits each run's
+// wall time into three buckets and fills two histograms, returning the
+// result as SimResult::stats. With the flag off (the default) the hot
+// path takes one predictable branch per decision and RunStats is never
+// even constructed — the uninstrumented path stays zero-overhead.
+//
+// Bucket semantics:
+//   decide_seconds    time inside Scheduler::allocate()
+//   observer_seconds  time inside Observer::on_decision callbacks
+//   solver_seconds    everything else in the event loop: exact event-time
+//                     solving, state advance, completions, admissions
+//                     (including on_arrival/on_completion callbacks)
+//   wall_seconds      whole run; >= the sum of the three buckets
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace parsched::obs {
+
+/// Decision-interval histogram bounds (seconds of simulated time,
+/// log-spaced): adversarial instances produce dt down to the engine's
+/// time tolerance, random ones cluster around the mean service time.
+[[nodiscard]] inline std::vector<double> decision_interval_bounds() {
+  return {1e-9, 1e-6, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1e4};
+}
+
+/// Alive-count histogram bounds (jobs, powers of two): the paper's
+/// adversary sustains Θ(m log P) backlog, random critical load Θ(m).
+[[nodiscard]] inline std::vector<double> alive_count_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096};
+}
+
+struct RunStats {
+  double wall_seconds = 0.0;
+  double decide_seconds = 0.0;
+  double solver_seconds = 0.0;
+  double observer_seconds = 0.0;
+
+  std::uint64_t decisions = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+
+  /// Simulated time between consecutive decision points.
+  HistogramData decision_interval{decision_interval_bounds()};
+  /// Alive-job count at each decision point.
+  HistogramData alive_count{alive_count_bounds()};
+};
+
+}  // namespace parsched::obs

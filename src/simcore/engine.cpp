@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "check/contract.hpp"
+#include "obs/metrics.hpp"
 #include "util/mathx.hpp"
 
 namespace parsched {
@@ -99,10 +100,43 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
   now_ = 0.0;
   arrival_seq_ = 0;
 
+  // Profiling is opt-in: with collect_stats off (the default) `stats` is
+  // empty, every instrumentation site is one predictable branch, and no
+  // clock is ever read — the hot path stays uninstrumented.
+  const bool collect = cfg_.collect_stats;
+  if (collect) result.stats.emplace();
+  obs::RunStats* stats = collect ? &*result.stats : nullptr;
+  const double run_start = collect ? obs::monotonic_seconds() : 0.0;
+  const auto finish = [&] {
+    if (stats != nullptr) {
+      stats->wall_seconds = obs::monotonic_seconds() - run_start;
+      stats->completions = result.records.size();
+      stats->arrivals = result.events - stats->completions;
+      stats->decisions = result.decisions;
+    }
+    if (cfg_.metrics != nullptr) {
+      obs::MetricsRegistry& reg = *cfg_.metrics;
+      reg.counter("engine.runs").inc();
+      reg.counter("engine.decisions").inc(result.decisions);
+      reg.counter("engine.completions").inc(result.records.size());
+      reg.counter("engine.arrivals")
+          .inc(result.events - result.records.size());
+      if (stats != nullptr) {
+        reg.timer("engine.run").add(stats->wall_seconds);
+        reg.timer("engine.decide").add(stats->decide_seconds);
+        reg.timer("engine.solver").add(stats->solver_seconds);
+        reg.timer("engine.observer").add(stats->observer_seconds);
+      }
+    }
+  };
+
   // Start the clock at the first arrival.
   {
     const double first = source.next_time(*this);
-    if (first == kInf) return result;
+    if (first == kInf) {
+      finish();
+      return result;
+    }
     now_ = std::max(0.0, first);
   }
   admit_pending(source, result);
@@ -124,7 +158,14 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
     }
 
     SchedulerContext ctx(now_, m_, alive_);
+    const double t_decide0 = collect ? obs::monotonic_seconds() : 0.0;
     Allocation alloc = sched.allocate(ctx);
+    double t_section = 0.0;  // start of the span being attributed next
+    if (stats != nullptr) {
+      t_section = obs::monotonic_seconds();
+      stats->decide_seconds += t_section - t_decide0;
+      stats->alive_count.add(static_cast<double>(alive_.size()));
+    }
     if (alloc.shares.size() != alive_.size()) {
       throw std::logic_error("allocation size mismatch from policy " +
                              sched.name());
@@ -142,8 +183,18 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
                                sched.name());
       }
     }
+    if (stats != nullptr) {
+      const double t = obs::monotonic_seconds();
+      stats->solver_seconds += t - t_section;  // allocation validation
+      t_section = t;
+    }
     for (Observer* obs : observers_) {
       obs->on_decision(now_, alive_, alloc.shares);
+    }
+    if (stats != nullptr) {
+      const double t = obs::monotonic_seconds();
+      stats->observer_seconds += t - t_section;
+      t_section = t;
     }
 
     // Rates are constant until the next event.
@@ -168,6 +219,7 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
     dt = std::min(dt, alloc.reconsider_at - now_);
     if (dt == kInf) throw SimulationStall(now_);
     dt = std::max(dt, 0.0);
+    if (stats != nullptr) stats->decision_interval.add(dt);
 
     // Advance remaining work and the fractional-flow integral.
     for (std::size_t i = 0; i < alive_.size(); ++i) {
@@ -222,10 +274,14 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
     }
 
     admit_pending(source, result);
+    if (stats != nullptr) {
+      stats->solver_seconds += obs::monotonic_seconds() - t_section;
+    }
   }
 
   result.decisions = decisions;
   for (Observer* obs : observers_) obs->on_done(now_);
+  finish();
   return result;
 }
 

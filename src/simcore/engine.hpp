@@ -23,6 +23,10 @@
 
 namespace parsched {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 struct EngineConfig {
   /// Processor speed multiplier for resource-augmentation analysis
   /// ([Kalyanasundaram–Pruhs]): an s-speed processor processes work at
@@ -38,6 +42,16 @@ struct EngineConfig {
   std::uint64_t max_decisions = 500'000'000;
   /// Check share feasibility at every decision point.
   bool validate_allocations = true;
+  /// Collect per-run profiling (SimResult::stats): wall time split into
+  /// policy-decide / event-solver / observer buckets plus decision-
+  /// interval and alive-count histograms. Off by default — the
+  /// uninstrumented hot path takes no clock readings at all.
+  bool collect_stats = false;
+  /// Optional registry the engine mirrors run totals into (counters
+  /// engine.runs/decisions/arrivals/completions always; timers
+  /// engine.decide/solver/observer when collect_stats is also set).
+  /// Borrowed; must outlive run().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Thrown when alive jobs exist but no progress is possible (all rates zero

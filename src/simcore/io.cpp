@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/fsio.hpp"
+
 namespace parsched {
 
 namespace {
@@ -133,9 +135,9 @@ void write_instance(std::ostream& os, const Instance& instance) {
 }
 
 void write_instance_file(const std::string& path, const Instance& instance) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  auto out = open_output(path, "instance file");
   write_instance(out, instance);
+  finish_output(out, path);
 }
 
 Instance read_instance(std::istream& is) {

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "obs/run_stats.hpp"
 #include "simcore/job.hpp"
 
 namespace parsched {
@@ -25,6 +27,11 @@ struct SimResult {
   double makespan = 0.0;         ///< last completion time
   std::uint64_t decisions = 0;   ///< number of decision points
   std::uint64_t events = 0;      ///< arrivals + completions + reconsiders
+
+  /// Per-phase wall-time buckets and decision histograms; only engaged
+  /// when EngineConfig::collect_stats is set (absent on the default,
+  /// uninstrumented path).
+  std::optional<obs::RunStats> stats;
 
   [[nodiscard]] std::size_t jobs() const { return records.size(); }
   [[nodiscard]] double avg_flow() const {

@@ -1,0 +1,51 @@
+// parsched — checked file output.
+//
+// Every writer in the library used to open a std::ofstream, stream into
+// it, and return — which silently produces truncated files on disk-full
+// or short writes (the stream just sets failbit and the data is gone).
+// These two helpers are the only sanctioned way to write a file:
+//
+//   auto out = open_output(path, "CSV output");   // throws if unopenable
+//   ... stream into out ...
+//   finish_output(out, path);                     // flush + close, throws
+//                                                 // on any stream error
+//
+// parsched_lint's `raw-ofstream` rule bans spelling `std::ofstream`
+// anywhere in src/ outside this header, so a writer cannot forget the
+// final state check.
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace parsched {
+
+/// Open `path` for writing; throws std::runtime_error when the file
+/// cannot be opened. `what` names the artifact in the error message.
+[[nodiscard]] inline std::ofstream open_output(const std::string& path,
+                                               const std::string& what =
+                                                   "output") {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + what + ": " + path);
+  }
+  return out;
+}
+
+/// Flush and close `out`, throwing std::runtime_error if any write failed
+/// (disk full, short write, I/O error). Call this before returning from
+/// every file writer — a destructor cannot report the failure.
+inline void finish_output(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("write failed (disk full or I/O error): " +
+                             path);
+  }
+  out.close();
+  if (out.fail()) {
+    throw std::runtime_error("close failed after writing: " + path);
+  }
+}
+
+}  // namespace parsched

@@ -1,13 +1,13 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "check/contract.hpp"
+#include "util/fsio.hpp"
 
 namespace parsched {
 
@@ -66,8 +66,7 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::write_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open CSV output: " + path);
+  auto out = open_output(path, "CSV output");
   auto escape = [](const std::string& s) {
     if (s.find_first_of(",\"\n") == std::string::npos) return s;
     std::string e = "\"";
@@ -95,6 +94,7 @@ void Table::write_csv(const std::string& path) const {
     }
     out << '\n';
   }
+  finish_output(out, path);
 }
 
 std::vector<double> Table::numeric_column(const std::string& header) const {

@@ -25,6 +25,16 @@ class Table {
   /// Number of data rows added so far.
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Column headers, in declaration order.
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+
+  /// Raw typed cells (obs/report.hpp embeds tables in bench reports).
+  [[nodiscard]] const std::vector<std::vector<Cell>>& cell_rows() const {
+    return rows_;
+  }
+
   /// Render with column rules and a header separator.
   void print(std::ostream& os) const;
 

@@ -1,0 +1,435 @@
+// The src/obs subsystem: metrics registry (incl. thread-safety under the
+// TSan CI leg), JSON emission + syntax checking, engine RunStats and the
+// zero-overhead default path, Chrome-trace / JSONL exporters (golden
+// file), and the bench-report schema.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "analysis/trace.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
+#include "sched/intermediate_srpt.hpp"
+#include "sched/sequential_srpt.hpp"
+#include "simcore/engine.hpp"
+#include "util/table.hpp"
+#include "workload/random.hpp"
+
+namespace parsched {
+namespace {
+
+Job make_job(JobId id, double release, double size, double alpha) {
+  Job j;
+  j.id = id;
+  j.release = release;
+  j.size = size;
+  j.curve = SpeedupCurve::power_law(alpha);
+  return j;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ------------------------------------------------------- metrics registry
+
+TEST(Metrics, CounterGaugeTimerHistogramRoundTrip) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.counter("c").inc(4);
+  reg.gauge("g").set(2.5);
+  reg.timer("t").add(0.125);
+  reg.timer("t").add(0.25);
+  auto& h = reg.histogram("h", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 4u);
+  const auto* c = snap.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 5.0);
+  EXPECT_DOUBLE_EQ(snap.find("g")->value, 2.5);
+  EXPECT_DOUBLE_EQ(snap.find("t")->value, 0.375);
+  EXPECT_EQ(snap.find("t")->count, 2u);
+  const obs::HistogramData& hd = snap.find("h")->histogram;
+  ASSERT_EQ(hd.counts.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(hd.counts[0], 1u);
+  EXPECT_EQ(hd.counts[1], 1u);
+  EXPECT_EQ(hd.counts[2], 1u);
+  EXPECT_EQ(hd.total, 3u);
+  EXPECT_DOUBLE_EQ(hd.sum, 105.5);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(Metrics, LookupIsFindOrCreateAndKindChecked) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("same");
+  obs::Counter& b = reg.counter("same");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW((void)reg.gauge("same"), std::logic_error);
+  (void)reg.histogram("h", {1.0});
+  EXPECT_THROW((void)reg.histogram("h", {2.0}), std::logic_error);
+}
+
+TEST(Metrics, ScopedTimerAccumulatesAndNullIsNoop) {
+  obs::MetricsRegistry reg;
+  {
+    obs::ScopedTimer t(&reg.timer("span"));
+    obs::ScopedTimer noop(nullptr);
+  }
+  EXPECT_EQ(reg.timer("span").count(), 1u);
+  EXPECT_GE(reg.timer("span").seconds(), 0.0);
+}
+
+TEST(Metrics, MonotonicClockAdvances) {
+  const double a = obs::monotonic_seconds();
+  const double b = obs::monotonic_seconds();
+  EXPECT_GE(b, a);
+}
+
+// Exercised under -fsanitize=thread in CI: concurrent increments and
+// registrations must be race-free and lose no updates.
+TEST(Metrics, ThreadSafeUnderConcurrentUse) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&reg, w] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("shared").inc();
+        reg.histogram("lat", {0.5, 1.0}).observe(0.25 * (w % 3));
+        reg.gauge("last").set(static_cast<double>(i));
+        reg.timer("work").add(1e-6);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("shared")->value, kThreads * kIters);
+  EXPECT_EQ(snap.find("lat")->histogram.total,
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(snap.find("work")->count,
+            static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(Metrics, HistogramDataBucketsInclusiveUpperBounds) {
+  obs::HistogramData h({1.0, 2.0});
+  h.add(1.0);   // first bucket (inclusive upper bound)
+  h.add(1.5);   // second
+  h.add(3.0);   // overflow
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5 / 3.0);
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, WriterEmitsValidNestedDocument) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("s", "a\"b\\c\n");
+  w.kv("i", std::int64_t{-3});
+  w.kv("d", 0.5);
+  w.kv("b", true);
+  w.key("arr").begin_array().value(1).value(2.25).null().end_array();
+  w.key("nested").begin_object().end_object();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  std::string err;
+  EXPECT_TRUE(obs::json_syntax_valid(os.str(), &err)) << err << "\n"
+                                                      << os.str();
+  EXPECT_NE(os.str().find("\\\""), std::string::npos);
+  EXPECT_NE(os.str().find("\\n"), std::string::npos);
+}
+
+TEST(Json, NumbersAreShortestRoundTrip) {
+  EXPECT_EQ(obs::json_number(1.0), "1");
+  EXPECT_EQ(obs::json_number(0.5), "0.5");
+  EXPECT_EQ(obs::json_number(1.0 / 0.0), "null");  // lint: float-eq-ok
+}
+
+TEST(Json, SyntaxCheckerAcceptsAndRejects) {
+  EXPECT_TRUE(obs::json_syntax_valid(R"({"a": [1, 2.5e-3, "x", null]})"));
+  EXPECT_TRUE(obs::json_syntax_valid("[]"));
+  EXPECT_TRUE(obs::json_syntax_valid("-0.25"));
+  std::string err;
+  EXPECT_FALSE(obs::json_syntax_valid("{\"a\": }", &err));
+  EXPECT_FALSE(obs::json_syntax_valid("[1,]", &err));
+  EXPECT_FALSE(obs::json_syntax_valid("{\"a\": 1} trailing", &err));
+  EXPECT_FALSE(obs::json_syntax_valid("01", &err));
+  EXPECT_FALSE(obs::json_syntax_valid("\"unterminated", &err));
+  EXPECT_FALSE(obs::json_syntax_valid("", &err));
+}
+
+// ------------------------------------------------- engine instrumentation
+
+TEST(RunStats, AbsentOnTheDefaultUninstrumentedPath) {
+  Instance inst(2, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.5, 1.0, 0.5)});
+  IntermediateSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  EXPECT_FALSE(r.stats.has_value());
+}
+
+TEST(RunStats, CollectedWhenEnabled) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 60;
+  cfg.P = 16.0;
+  cfg.seed = 7;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt sched;
+  EngineConfig ec;
+  ec.collect_stats = true;
+  const SimResult r = simulate(inst, sched, ec);
+
+  ASSERT_TRUE(r.stats.has_value());
+  const obs::RunStats& s = *r.stats;
+  EXPECT_EQ(s.decisions, r.decisions);
+  EXPECT_EQ(s.completions, inst.size());
+  EXPECT_EQ(s.arrivals, inst.size());
+  // Every decision lands one observation in both histograms.
+  EXPECT_EQ(s.alive_count.total, r.decisions);
+  EXPECT_EQ(s.decision_interval.total, r.decisions);
+  // The three buckets partition a subset of the run's wall time.
+  EXPECT_GE(s.decide_seconds, 0.0);
+  EXPECT_GE(s.solver_seconds, 0.0);
+  EXPECT_GE(s.observer_seconds, 0.0);
+  EXPECT_LE(s.decide_seconds + s.solver_seconds + s.observer_seconds,
+            s.wall_seconds + 1e-6);
+  EXPECT_GT(s.wall_seconds, 0.0);
+}
+
+TEST(RunStats, EngineMirrorsCountersIntoRegistry) {
+  Instance inst(2, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.0, 1.0, 0.5)});
+  IntermediateSrpt sched;
+  obs::MetricsRegistry reg;
+  EngineConfig ec;
+  ec.collect_stats = true;
+  ec.metrics = &reg;
+  const SimResult r = simulate(inst, sched, ec);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.find("engine.runs")->value, 1.0);
+  EXPECT_DOUBLE_EQ(snap.find("engine.decisions")->value,
+                   static_cast<double>(r.decisions));
+  EXPECT_DOUBLE_EQ(snap.find("engine.completions")->value, 2.0);
+  EXPECT_DOUBLE_EQ(snap.find("engine.arrivals")->value, 2.0);
+  EXPECT_EQ(snap.find("engine.decide")->count, 1u);
+}
+
+// ----------------------------------------------------------- trace export
+
+TEST(TraceExport, ChromeTraceParsesAndHasJobAndCounterTracks) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 20;
+  cfg.P = 16.0;
+  cfg.seed = 3;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt sched;
+  obs::TraceExporter exporter;
+  (void)simulate(inst, sched, {}, {&exporter});
+
+  const std::string path = "test_obs_chrome.trace.json";
+  exporter.write_chrome_trace(path);
+  const std::string text = slurp(path);
+  std::string err;
+  EXPECT_TRUE(obs::json_syntax_valid(text, &err)) << err;
+  // Per-job allocation tracks, instant events, and counter tracks.
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"alive\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"utilization\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_FALSE(exporter.segments().empty());
+  EXPECT_EQ(exporter.dropped(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceExport, SegmentsMatchAllocationTrace) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 30;
+  cfg.P = 8.0;
+  cfg.seed = 11;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt sched;
+  obs::TraceExporter exporter;
+  AllocationTrace trace;
+  (void)simulate(inst, sched, {}, {&exporter, &trace});
+  ASSERT_EQ(exporter.segments().size(), trace.segments().size());
+  for (std::size_t i = 0; i < trace.segments().size(); ++i) {
+    EXPECT_EQ(exporter.segments()[i].job, trace.segments()[i].job);
+    EXPECT_DOUBLE_EQ(exporter.segments()[i].t0, trace.segments()[i].t0);
+    EXPECT_DOUBLE_EQ(exporter.segments()[i].t1, trace.segments()[i].t1);
+    EXPECT_DOUBLE_EQ(exporter.segments()[i].share,
+                     trace.segments()[i].share);
+  }
+}
+
+TEST(TraceExport, JsonlGoldenFileOnFixedInstance) {
+  // Exact-arithmetic instance: all event times are small integers, so the
+  // serialized log is byte-stable across platforms.
+  Instance inst(1, {make_job(0, 0.0, 2.0, 0.0), make_job(1, 1.0, 1.0, 0.0)});
+  SequentialSrpt sched;
+  obs::TraceExporter exporter;
+  (void)simulate(inst, sched, {}, {&exporter});
+
+  const std::string path = "test_obs_golden.jsonl";
+  exporter.write_jsonl(path);
+  const std::string expected =
+      R"({"ev":"header","schema":1,"kind":"parsched-trace","end_time":3,"dropped":0}
+{"ev":"arrival","t":0,"job":0,"size":2}
+{"ev":"decision","t":0}
+{"ev":"arrival","t":1,"job":1,"size":1}
+{"ev":"decision","t":1}
+{"ev":"completion","t":2,"job":0}
+{"ev":"decision","t":2}
+{"ev":"completion","t":3,"job":1}
+{"ev":"counters","t":0,"alive":1,"allocated":1}
+{"ev":"counters","t":1,"alive":2,"allocated":1}
+{"ev":"counters","t":2,"alive":1,"allocated":1}
+{"ev":"segment","job":0,"t0":0,"t1":2,"share":1}
+{"ev":"segment","job":1,"t0":2,"t1":3,"share":1}
+)";
+  EXPECT_EQ(slurp(path), expected);
+  // Every line must itself be valid JSON.
+  std::istringstream lines(slurp(path));
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(obs::json_syntax_valid(line)) << line;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceExport, EventCapCountsDrops) {
+  obs::TraceExporter::Config tc;
+  tc.max_events = 3;
+  obs::TraceExporter exporter(tc);
+  RandomWorkloadConfig cfg;
+  cfg.machines = 2;
+  cfg.jobs = 20;
+  cfg.P = 4.0;
+  cfg.seed = 1;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt sched;
+  (void)simulate(inst, sched, {}, {&exporter});
+  EXPECT_LE(exporter.events().size() + exporter.counters().size(), 3u);
+  EXPECT_GT(exporter.dropped(), 0u);
+  EXPECT_FALSE(exporter.segments().empty());  // segments are never dropped
+}
+
+// ---------------------------------------------------------------- reports
+
+TEST(Report, BenchReportSchemaRoundTrips) {
+  RandomWorkloadConfig cfg;
+  cfg.machines = 4;
+  cfg.jobs = 30;
+  cfg.P = 8.0;
+  cfg.seed = 5;
+  const Instance inst = make_random_instance(cfg);
+  IntermediateSrpt sched;
+  EngineConfig ec;
+  ec.collect_stats = true;
+  const double t0 = obs::monotonic_seconds();
+  const SimResult r = simulate(inst, sched, ec);
+  const double wall = obs::monotonic_seconds() - t0;
+
+  obs::BenchReport report("unit_test");
+  report.set_meta("claim", "round-trip");
+  report.set_meta("machines", 4.0);
+  report.add_run(obs::RunReport::from_result("isrpt", 4, r, wall));
+  Table table({"policy", "flow"});
+  table.add_row({std::string("isrpt"), r.total_flow});
+  report.add_table("results", table);
+  obs::MetricsRegistry reg;
+  reg.counter("runs").inc();
+  report.set_metrics(reg.snapshot());
+
+  const std::string text = report.to_json();
+  std::string err;
+  ASSERT_TRUE(obs::json_syntax_valid(text, &err)) << err << "\n" << text;
+  EXPECT_NE(text.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"parsched-bench-report\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"decide_seconds\""), std::string::npos);
+  EXPECT_NE(text.find("\"decision_interval\""), std::string::npos);
+  EXPECT_NE(text.find("\"alive_count\""), std::string::npos);
+  EXPECT_NE(text.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(text.find("\"columns\""), std::string::npos);
+
+  const std::string path = "test_obs_report.json";
+  report.write(path);
+  EXPECT_TRUE(obs::json_syntax_valid(slurp(path), &err)) << err;
+  std::filesystem::remove(path);
+}
+
+TEST(Report, UninstrumentedRunSerializesNullStats) {
+  Instance inst(1, {make_job(0, 0.0, 1.0, 0.5)});
+  IntermediateSrpt sched;
+  const SimResult r = simulate(inst, sched);
+  obs::BenchReport report("nostats");
+  report.add_run(obs::RunReport::from_result("isrpt", 1, r));
+  EXPECT_NE(report.to_json().find("\"stats\": null"), std::string::npos);
+  EXPECT_TRUE(obs::json_syntax_valid(report.to_json()));
+}
+
+TEST(Report, PathRespectsEnvironment) {
+  ::unsetenv("PARSCHED_REPORT_DIR");
+  EXPECT_EQ(obs::report_path("x"), "BENCH_x.json");
+  ::setenv("PARSCHED_REPORT_DIR", "/tmp", 1);
+  EXPECT_EQ(obs::report_path("x"), "/tmp/BENCH_x.json");
+  ::unsetenv("PARSCHED_REPORT_DIR");
+
+  ::unsetenv("PARSCHED_REPORT");
+  EXPECT_FALSE(obs::report_enabled());
+  ::setenv("PARSCHED_REPORT", "1", 1);
+  EXPECT_TRUE(obs::report_enabled());
+  ::setenv("PARSCHED_REPORT", "0", 1);
+  EXPECT_FALSE(obs::report_enabled());
+  ::unsetenv("PARSCHED_REPORT");
+}
+
+// ----------------------------------------------------- checked file output
+
+TEST(FileWriters, WriteFailuresRaiseInsteadOfTruncating) {
+  Instance inst(1, {make_job(0, 0.0, 2.0, 0.5)});
+  IntermediateSrpt sched;
+  AllocationTrace trace;
+  obs::TraceExporter exporter;
+  (void)simulate(inst, sched, {}, {&trace, &exporter});
+
+  // Unopenable path: directory component does not exist.
+  const std::string bad = "test_obs_nonexistent_dir/out.csv";
+  EXPECT_THROW(trace.write_csv(bad), std::runtime_error);
+  EXPECT_THROW(exporter.write_chrome_trace(bad), std::runtime_error);
+  EXPECT_THROW(exporter.write_jsonl(bad), std::runtime_error);
+
+  // Full device: opens fine, every write is lost — the flush check in
+  // finish_output must turn that into an error (the original write_csv
+  // silently produced an empty file here).
+  if (std::filesystem::exists("/dev/full")) {
+    EXPECT_THROW(trace.write_csv("/dev/full"), std::runtime_error);
+    EXPECT_THROW(exporter.write_jsonl("/dev/full"), std::runtime_error);
+    obs::BenchReport report("full");
+    EXPECT_THROW(report.write("/dev/full"), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace parsched

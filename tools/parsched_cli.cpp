@@ -11,12 +11,18 @@
 //   run      simulate one policy on an instance file; optional --speed,
 //            --trace=out.csv (allocation segments), --gantt (terminal
 //            timeline)
+//   trace    simulate one policy and export run telemetry: a Chrome
+//            trace-event file (open in Perfetto / chrome://tracing) and
+//            optionally a JSONL event log, plus the engine's per-phase
+//            timing buckets
 //   compare  run every registry policy plus the OPT sandwich
 //   bound    print the provable lower bounds only
 #include <iostream>
 #include <sstream>
 
 #include "analysis/trace.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
 #include "sched/opt/search.hpp"
 #include "sched/opt/portfolio.hpp"
 #include "sched/opt/relaxations.hpp"
@@ -43,6 +49,8 @@ int usage() {
       "           --seed=..]\n"
       "  run     --instance=FILE [--policy=isrpt] [--speed=1.0]\n"
       "          [--trace=FILE.csv] [--gantt] [--width=72]\n"
+      "  trace   --instance=FILE [--policy=isrpt] [--out=trace.json]\n"
+      "          [--jsonl=FILE.jsonl] [--speed=1.0] [--no-decisions]\n"
       "  compare --instance=FILE [--policies=a,b,c] [--search]\n"
       "  bound   --instance=FILE\n";
   return 2;
@@ -133,6 +141,50 @@ int cmd_run(const Options& opt) {
   return 0;
 }
 
+int cmd_trace(const Options& opt) {
+  const std::string path = opt.get("instance", "");
+  if (path.empty()) {
+    std::cerr << "trace: --instance=FILE is required\n";
+    return 2;
+  }
+  const Instance inst = read_instance_file(path);
+  auto sched = make_scheduler(opt.get("policy", "isrpt"));
+
+  EngineConfig ec;
+  ec.speed = opt.get_double("speed", 1.0);
+  ec.collect_stats = true;  // the trace view wants the phase breakdown
+
+  obs::TraceExporter::Config tc;
+  tc.decision_instants = !opt.get_bool("no-decisions", false);
+  obs::TraceExporter exporter(tc);
+  const SimResult r = simulate(inst, *sched, ec, {&exporter});
+
+  const std::string out = opt.get("out", "trace.json");
+  exporter.write_chrome_trace(out);
+  std::cout << sched->name() << " on " << inst.size() << " jobs / "
+            << inst.machines() << " machines\n"
+            << "Chrome trace written to " << out
+            << " (open in https://ui.perfetto.dev or chrome://tracing)\n";
+  if (opt.has("jsonl")) {
+    const std::string jsonl = opt.get("jsonl", "trace.jsonl");
+    exporter.write_jsonl(jsonl);
+    std::cout << "JSONL event log written to " << jsonl << "\n";
+  }
+  if (exporter.dropped() > 0) {
+    std::cout << "warning: " << exporter.dropped()
+              << " events dropped past the exporter cap\n";
+  }
+  if (r.stats.has_value()) {
+    const obs::RunStats& s = *r.stats;
+    std::cout << "engine profile: wall " << s.wall_seconds << "s = decide "
+              << s.decide_seconds << "s + solver " << s.solver_seconds
+              << "s + observers " << s.observer_seconds << "s ("
+              << s.decisions << " decisions, mean alive "
+              << s.alive_count.mean() << ")\n";
+  }
+  return 0;
+}
+
 int cmd_compare(const Options& opt) {
   const std::string path = opt.get("instance", "");
   if (path.empty()) {
@@ -201,6 +253,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen") return cmd_gen(opt);
     if (command == "run") return cmd_run(opt);
+    if (command == "trace") return cmd_trace(opt);
     if (command == "compare") return cmd_compare(opt);
     if (command == "bound") return cmd_bound(opt);
   } catch (const std::exception& e) {

@@ -23,6 +23,19 @@ Rules (scoped to src/ by default):
                     "simcore/engine.hpp"`), never bare (`#include
                     "engine.hpp"`).
 
+  raw-chrono        raw timing (`std::chrono`, `clock()`, steady_clock,
+                    `gettimeofday`, ...) is banned in src/ outside
+                    src/obs/: all timing must flow through
+                    obs/metrics.hpp (monotonic_seconds, ScopedTimer,
+                    TimerStat) so instrumentation can be disabled and
+                    audited uniformly.
+
+  raw-ofstream      spelling `std::ofstream` is banned in src/ outside
+                    util/fsio.hpp: writers must use open_output() /
+                    finish_output(), which check the stream state before
+                    returning — a bare ofstream silently truncates on
+                    disk-full or short writes.
+
 Exit status 0 when clean, 1 when any rule fires; findings are printed as
 `file:line: [rule] message` so editors and CI annotate them directly.
 
@@ -44,6 +57,7 @@ HEADER_SUFFIXES = {".hpp", ".h"}
 KNOWN_PREFIXES = (
     "analysis/",
     "check/",
+    "obs/",
     "sched/",
     "simcore/",
     "speedup/",
@@ -63,6 +77,12 @@ RE_FLOAT_EQ = re.compile(
     r"(?:(?:{f})\s*[=!]=)|(?:[=!]=\s*(?:{f}))".format(f=FLOAT_LIT)
 )
 RE_PROJECT_INCLUDE = re.compile(r'#\s*include\s*"([^"]+)"')
+RE_RAW_CHRONO = re.compile(
+    r"std\s*::\s*chrono|#\s*include\s*<chrono>"
+    r"|\b(?:steady_clock|system_clock|high_resolution_clock)\b"
+    r"|(?<![\w.:])(?:clock|clock_gettime|gettimeofday)\s*\("
+)
+RE_RAW_OFSTREAM = re.compile(r"std\s*::\s*ofstream\b")
 
 
 def strip_code_noise(line: str) -> str:
@@ -79,8 +99,11 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
         return
 
     is_header = path.suffix in HEADER_SUFFIXES
-    is_contract = rel.replace("\\", "/").endswith("check/contract.hpp")
-    is_mathx = rel.replace("\\", "/").endswith("util/mathx.hpp")
+    rel_posix = rel.replace("\\", "/")
+    is_contract = rel_posix.endswith("check/contract.hpp")
+    is_mathx = rel_posix.endswith("util/mathx.hpp")
+    is_fsio = rel_posix.endswith("util/fsio.hpp")
+    in_obs = "/obs/" in f"/{rel_posix}"
     in_src = "/src/" in f"/{rel}" or rel.startswith("src/")
 
     if is_header and "#pragma once" not in text:
@@ -117,6 +140,20 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
                     f"{rel}:{lineno}: [raw-assert] raw assert(); use "
                     "PARSCHED_CHECK / PARSCHED_DCHECK"
                 )
+
+        if in_src and not in_obs and RE_RAW_CHRONO.search(code):
+            findings.append(
+                f"{rel}:{lineno}: [raw-chrono] raw timing outside src/obs/; "
+                "use monotonic_seconds / ScopedTimer from obs/metrics.hpp "
+                "so timing can be disabled uniformly"
+            )
+
+        if in_src and not is_fsio and RE_RAW_OFSTREAM.search(code):
+            findings.append(
+                f"{rel}:{lineno}: [raw-ofstream] bare std::ofstream; use "
+                "open_output/finish_output from util/fsio.hpp so the "
+                "stream state is checked before returning"
+            )
 
         if (
             in_src

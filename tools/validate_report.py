@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""validate_report — schema check for parsched telemetry files (stdlib only).
+
+Validates the three machine-readable formats the obs/ subsystem emits:
+
+  BENCH_*.json       bench reports  (kind: parsched-bench-report, schema 1)
+  *.trace.json       Chrome trace-event files from TraceExporter
+  *.jsonl            JSONL event logs from TraceExporter
+
+Used by CI after the report smoke run; also handy locally:
+
+  tools/validate_report.py BENCH_e11_engine_perf.json run.trace.json
+
+Exit status 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = 1
+
+RUN_REQUIRED = {
+    "policy": str,
+    "jobs": int,
+    "machines": int,
+    "total_flow": (int, float),
+    "weighted_flow": (int, float),
+    "fractional_flow": (int, float),
+    "makespan": (int, float),
+    "decisions": int,
+    "events": int,
+    "wall_seconds": (int, float),
+}
+
+STATS_REQUIRED = {
+    "wall_seconds": (int, float),
+    "decide_seconds": (int, float),
+    "solver_seconds": (int, float),
+    "observer_seconds": (int, float),
+    "decisions": int,
+    "arrivals": int,
+    "completions": int,
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def need(obj: dict, key: str, types, where: str):
+    if key not in obj:
+        raise Invalid(f"{where}: missing key '{key}'")
+    if not isinstance(obj[key], types):
+        raise Invalid(
+            f"{where}: '{key}' has type {type(obj[key]).__name__}, "
+            f"expected {types}"
+        )
+    return obj[key]
+
+
+def check_histogram(h: dict, where: str) -> None:
+    bounds = need(h, "bounds", list, where)
+    counts = need(h, "counts", list, where)
+    need(h, "total", int, where)
+    need(h, "sum", (int, float), where)
+    if len(counts) != len(bounds) + 1:
+        raise Invalid(
+            f"{where}: {len(bounds)} bounds need {len(bounds) + 1} buckets, "
+            f"got {len(counts)}"
+        )
+    if sum(counts) != h["total"]:
+        raise Invalid(f"{where}: bucket counts sum to {sum(counts)}, "
+                      f"total says {h['total']}")
+    if bounds != sorted(bounds):
+        raise Invalid(f"{where}: bounds are not sorted")
+
+
+def check_stats(stats, where: str) -> None:
+    if stats is None:  # uninstrumented run: explicitly null
+        return
+    for key, types in STATS_REQUIRED.items():
+        need(stats, key, types, where)
+    for key in ("decision_interval", "alive_count"):
+        check_histogram(need(stats, key, dict, where), f"{where}.{key}")
+
+
+def check_bench_report(doc: dict, where: str) -> None:
+    if need(doc, "schema", int, where) != SCHEMA:
+        raise Invalid(f"{where}: schema {doc['schema']}, expected {SCHEMA}")
+    if need(doc, "kind", str, where) != "parsched-bench-report":
+        raise Invalid(f"{where}: kind {doc['kind']!r}")
+    need(doc, "name", str, where)
+    need(doc, "meta", dict, where)
+    runs = need(doc, "runs", list, where)
+    for i, run in enumerate(runs):
+        rw = f"{where}.runs[{i}]"
+        for key, types in RUN_REQUIRED.items():
+            need(run, key, types, rw)
+        if "stats" in run:
+            check_stats(run["stats"], f"{rw}.stats")
+    for i, table in enumerate(need(doc, "tables", list, where)):
+        tw = f"{where}.tables[{i}]"
+        need(table, "name", str, tw)
+        columns = need(table, "columns", list, tw)
+        for j, row in enumerate(need(table, "rows", list, tw)):
+            if len(row) != len(columns):
+                raise Invalid(f"{tw}.rows[{j}]: {len(row)} cells for "
+                              f"{len(columns)} columns")
+    for i, metric in enumerate(need(doc, "metrics", list, where)):
+        mw = f"{where}.metrics[{i}]"
+        need(metric, "name", str, mw)
+        kind = need(metric, "kind", str, mw)
+        if kind not in ("counter", "gauge", "timer", "histogram"):
+            raise Invalid(f"{mw}: unknown metric kind {kind!r}")
+        if kind == "histogram":
+            check_histogram(need(metric, "histogram", dict, mw), mw)
+
+
+def check_chrome_trace(doc: dict, where: str) -> None:
+    events = need(doc, "traceEvents", list, where)
+    phases = {}
+    for i, ev in enumerate(events):
+        ew = f"{where}.traceEvents[{i}]"
+        ph = need(ev, "ph", str, ew)
+        need(ev, "pid", int, ew)
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph == "X":
+            need(ev, "ts", (int, float), ew)
+            need(ev, "dur", (int, float), ew)
+            if ev["dur"] < 0:
+                raise Invalid(f"{ew}: negative duration")
+        elif ph == "C":
+            need(ev, "args", dict, ew)
+    if phases.get("M", 0) == 0:
+        raise Invalid(f"{where}: no metadata events (track names missing)")
+    if phases.get("X", 0) == 0:
+        raise Invalid(f"{where}: no allocation segments")
+    if phases.get("C", 0) == 0:
+        raise Invalid(f"{where}: no counter samples (alive/utilization)")
+    other = need(doc, "otherData", dict, where)
+    if need(other, "schema", int, f"{where}.otherData") != SCHEMA:
+        raise Invalid(f"{where}: otherData.schema != {SCHEMA}")
+
+
+def check_jsonl(path: Path) -> str:
+    kinds = {}
+    with path.open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            where = f"{path.name}:{lineno}"
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise Invalid(f"{where}: bad JSON: {exc}") from exc
+            kind = need(ev, "ev", str, where)
+            kinds[kind] = kinds.get(kind, 0) + 1
+            if lineno == 1:
+                if kind != "header":
+                    raise Invalid(f"{where}: first line must be the header")
+                if need(ev, "schema", int, where) != SCHEMA:
+                    raise Invalid(f"{where}: schema != {SCHEMA}")
+                if need(ev, "kind", str, where) != "parsched-trace":
+                    raise Invalid(f"{where}: kind {ev['kind']!r}")
+    if kinds.get("header", 0) != 1:
+        raise Invalid(f"{path.name}: expected exactly one header line")
+    return f"{sum(kinds.values())} lines, kinds {kinds}"
+
+
+def validate(path: Path) -> str:
+    if path.suffix == ".jsonl":
+        return check_jsonl(path)
+    with path.open(encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise Invalid(f"{path.name}: top level is not an object")
+    if doc.get("kind") == "parsched-bench-report":
+        check_bench_report(doc, path.name)
+        return (f"bench report '{doc['name']}', {len(doc['runs'])} runs, "
+                f"{len(doc['tables'])} tables, {len(doc['metrics'])} metrics")
+    if "traceEvents" in doc:
+        check_chrome_trace(doc, path.name)
+        return f"chrome trace, {len(doc['traceEvents'])} events"
+    raise Invalid(f"{path.name}: not a recognized parsched telemetry file")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for arg in argv:
+        path = Path(arg)
+        try:
+            summary = validate(path)
+            print(f"OK   {path}: {summary}")
+        except (Invalid, OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
