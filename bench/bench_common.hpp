@@ -12,7 +12,14 @@
 // machine-readable BENCH_<slug>.json (obs/report.hpp schema) next to its
 // CSV: emit_experiment() mirrors tables automatically, and benches that
 // want per-run wall time + profiling buckets use timed_run() /
-// write_bench_report() below. PARSCHED_REPORT_DIR redirects the output.
+// write_bench_report() below. PARSCHED_REPORT_DIR redirects the output
+// (the directory is created on first use if missing).
+//
+// Sweep-ported benches (E1, E2, E5, E11) run their parameter grids
+// through sweep_runner() — an exec::SweepRunner honoring PARSCHED_JOBS
+// (default: all hardware threads; 1 = the exact legacy serial path).
+// Results merge in task-index order, so the emitted CSV/JSON bytes are
+// identical at any job count.
 #pragma once
 
 #include <cstdlib>
@@ -21,6 +28,7 @@
 
 #include "analysis/adversary_eval.hpp"
 #include "check/invariant_auditor.hpp"
+#include "exec/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "sched/opt/relaxations.hpp"
@@ -58,6 +66,19 @@ inline AdversaryPoint run_adversary_point(const std::string& policy,
 
 inline std::vector<std::string> fast_portfolio() {
   return adversary_portfolio();
+}
+
+/// The sweep runner every ported bench shares: parallelism from
+/// PARSCHED_JOBS (or all hardware threads), per-task engine metrics
+/// merged into the global registry in task-index order. Pass jobs > 0
+/// to pin the parallelism explicitly (E11's speedup measurement).
+inline exec::SweepRunner sweep_runner(std::uint64_t base_seed = 0,
+                                      int jobs = 0) {
+  exec::SweepRunner::Config cfg;
+  cfg.jobs = exec::resolve_jobs(jobs);
+  cfg.base_seed = base_seed;
+  cfg.merge_metrics = &obs::MetricsRegistry::global();
+  return exec::SweepRunner(cfg);
 }
 
 /// Simulate `policy` on `inst` with wall-time measurement and (when

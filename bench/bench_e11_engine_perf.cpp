@@ -8,14 +8,20 @@
 // baseline of the perf trajectory: after the microbenchmarks it runs one
 // instrumented pass per engine policy (EngineConfig::collect_stats) and
 // writes BENCH_e11_engine_perf.json — wall time, decision counts, and
-// the decide/solver/observer per-phase buckets. Pass
-// --benchmark_filter=NONE to emit the report without the (slow)
-// microbenchmark sweep.
+// the decide/solver/observer per-phase buckets — plus a
+// "parallel_speedup" table measuring the exec::SweepRunner substrate:
+// the same sharded sweep workload at jobs = 1/2/4/8 with wall time,
+// merge overhead, pool idle fraction, steal counts, and a bit-exact
+// total-flow equality check across job counts (the determinism
+// contract, enforced inline). Pass --benchmark_filter=NONE to emit the
+// report without the (slow) microbenchmark sweep.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/table.hpp"
 #include "sched/registry.hpp"
 #include "sched/opt/plan.hpp"
 #include "sched/opt/relaxations.hpp"
@@ -84,16 +90,78 @@ void BM_PlanExecution(benchmark::State& state) {
 BENCHMARK(BM_PlanExecution)->Arg(512)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
-// One instrumented, timed pass per policy on the 10k-job perf instance;
-// written as the machine-readable perf baseline when PARSCHED_REPORT=1.
+// The ported sweep workload behind the parallel-speedup measurement:
+// kSweepTasks independent ISRPT simulations on random instances, each
+// seeded from the sweep's splitmix derivation. Flow totals are summed in
+// task-index order, so the sum is bit-identical at every job count.
+constexpr std::size_t kSweepTasks = 24;
+constexpr std::uint64_t kSweepSeed = 4242;
+
+double sweep_task_flow(const exec::TaskContext& ctx) {
+  RandomWorkloadConfig cfg = perf_config(4000);
+  cfg.seed = ctx.seed;
+  const Instance inst = make_random_instance(cfg);
+  auto sched = make_scheduler("isrpt");
+  EngineConfig ec;
+  ec.metrics = ctx.metrics;  // task-private registry, merged in order
+  return simulate(inst, *sched, ec).total_flow;
+}
+
+// Run the sweep at jobs = 1/2/4/8 and tabulate wall time, speedup vs the
+// serial run, merge overhead, pool idle fraction, and steals. The exact
+// total-flow equality across job counts is checked inline — a reseeding
+// or merge-order bug aborts the bench rather than shipping wrong rows.
+Table measure_parallel_speedup() {
+  Table sp({"jobs", "tasks", "wall_seconds", "speedup_vs_j1",
+            "merge_seconds", "idle_fraction", "steals", "total_flow"},
+           6);
+  double wall_j1 = 0.0;
+  double flow_j1 = 0.0;
+  for (const int j : {1, 2, 4, 8}) {
+    auto runner = bench::sweep_runner(kSweepSeed, j);
+    const std::vector<double> flows =
+        runner.map<double>(kSweepTasks, sweep_task_flow);
+    double total = 0.0;
+    for (const double f : flows) total += f;
+    const exec::SweepStats& st = runner.last_stats();
+    if (j == 1) {
+      wall_j1 = st.wall_seconds;
+      flow_j1 = total;
+    }
+    PARSCHED_CHECK(total == flow_j1,
+                   "sweep flow totals diverged across job counts — "
+                   "determinism contract violated");
+    sp.add_row({static_cast<std::int64_t>(j),
+                static_cast<std::int64_t>(kSweepTasks), st.wall_seconds,
+                wall_j1 / st.wall_seconds, st.merge_seconds,
+                st.idle_fraction(), static_cast<std::int64_t>(st.steals),
+                total});
+  }
+  return sp;
+}
+
+// One instrumented, timed pass per policy on the 10k-job perf instance
+// plus the parallel-speedup table; written as the machine-readable perf
+// baseline when PARSCHED_REPORT=1.
 void emit_perf_report() {
   if (!obs::report_enabled()) return;
   const Instance inst = make_random_instance(perf_config(10000));
-  std::vector<obs::RunReport> runs;
+  obs::BenchReport report("e11_engine_perf");
   for (const char* policy : {"isrpt", "equi", "greedy", "seq-srpt"}) {
-    runs.push_back(bench::timed_run(policy, inst));
+    report.add_run(bench::timed_run(policy, inst));
   }
-  bench::write_bench_report("e11_engine_perf", std::move(runs));
+  const Table sp = measure_parallel_speedup();
+  std::cout << "\n=== E11: parallel sweep speedup (" << kSweepTasks
+            << " tasks, hardware_concurrency="
+            << exec::ThreadPool::hardware_threads() << ") ===\n";
+  sp.print(std::cout);
+  report.add_table("parallel_speedup", sp);
+  report.set_meta(
+      "hardware_concurrency",
+      static_cast<double>(exec::ThreadPool::hardware_threads()));
+  report.set_meta("sweep_tasks", static_cast<double>(kSweepTasks));
+  report.set_metrics(obs::MetricsRegistry::global().snapshot());
+  report.write(obs::report_path("e11_engine_perf"));
   std::cout << "perf baseline written to "
             << obs::report_path("e11_engine_perf") << "\n";
 }

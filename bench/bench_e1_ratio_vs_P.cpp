@@ -8,6 +8,9 @@
 //  (b) average case — random Poisson instances at critical load, where the
 //      measured ratio should be far below the envelope (the adversary is
 //      what makes the bound tight).
+//
+// Both grids run sharded on bench::sweep_runner() (PARSCHED_JOBS-many
+// workers); output bytes are identical at any job count.
 #include <iostream>
 
 #include "analysis/experiment.hpp"
@@ -32,8 +35,10 @@ int main(int argc, char** argv) {
   // The construction realizes L = floor(log_{1/r}(P)/2) phases, so P must
   // grow like (1/r)^{2L} to add a phase; we sweep by realized phase count
   // (the paper's lower bound is Omega(m * log_{1/r} P) backlog = Omega(L)).
-  Table adv({"alpha", "P", "phases", "case1", "jobs", "backlog",
-             "ratio_at_X0", "ratio_at_P^2", "theorem1_envelope"});
+  // The grid is flattened into independent tasks for the sweep runner;
+  // rows merge in task-index order, so the table bytes are identical at
+  // any PARSCHED_JOBS value.
+  std::vector<std::pair<double, double>> adv_points;  // (alpha, P)
   for (double alpha : alphas) {
     std::vector<double> P_list = Ps;
     if (P_list.empty()) {
@@ -42,19 +47,27 @@ int main(int argc, char** argv) {
         P_list.push_back(bench::P_for_phases(alpha, L));
       }
     }
-    for (double P : P_list) {
-      AdversaryConfig cfg;
-      cfg.machines = m;
-      cfg.P = P;
-      cfg.alpha = alpha;
-      const auto pt = bench::run_adversary_point("isrpt", cfg);
-      adv.add_row({alpha, P, static_cast<std::int64_t>(pt.phases),
-                   std::string(pt.case1 ? "yes" : "no"),
-                   static_cast<std::int64_t>(pt.jobs), pt.alive_tail,
-                   pt.ratio_lb(), pt.ratio_extrapolated(),
-                   theorem1_envelope(std::max(alpha, 0.01), P)});
-    }
+    for (double P : P_list) adv_points.emplace_back(alpha, P);
   }
+  auto runner = bench::sweep_runner();
+  const auto adv_rows = runner.map<std::vector<Cell>>(
+      adv_points.size(), [&](const exec::TaskContext& ctx) {
+        const auto [alpha, P] = adv_points[ctx.index];
+        AdversaryConfig cfg;
+        cfg.machines = m;
+        cfg.P = P;
+        cfg.alpha = alpha;
+        const auto pt = bench::run_adversary_point("isrpt", cfg);
+        return std::vector<Cell>{
+            alpha, P, static_cast<std::int64_t>(pt.phases),
+            std::string(pt.case1 ? "yes" : "no"),
+            static_cast<std::int64_t>(pt.jobs), pt.alive_tail,
+            pt.ratio_lb(), pt.ratio_extrapolated(),
+            theorem1_envelope(std::max(alpha, 0.01), P)};
+      });
+  Table adv({"alpha", "P", "phases", "case1", "jobs", "backlog",
+             "ratio_at_X0", "ratio_at_P^2", "theorem1_envelope"});
+  for (const auto& row : adv_rows) adv.add_row(row);
   emit_experiment(
       "E1a: ISRPT ratio vs P (adversarial)",
       "Theorem 1 + Theorem 2 family: the backlog carried through the "
@@ -64,30 +77,35 @@ int main(int argc, char** argv) {
       adv);
   fit_against_log2(adv, "P", "ratio_at_P^2");
 
-  Table rnd({"alpha", "P", "ratio_ub_mean", "ratio_ub_max",
-             "theorem1_envelope"});
   const auto random_Ps =
       opt.get_doubles("P-random", {8, 16, 32, 64, 128, 256});
+  std::vector<std::pair<double, double>> rnd_points;  // (alpha, P)
   for (double alpha : {0.25, 0.5}) {
-    for (double P : random_Ps) {
-      RunningStats stats;
-      for (int s = 0; s < seeds; ++s) {
-        RandomWorkloadConfig cfg;
-        cfg.machines = m;
-        cfg.jobs = 400;
-        cfg.P = P;
-        cfg.alpha_lo = cfg.alpha_hi = alpha;
-        cfg.load = 1.0;
-        cfg.seed = static_cast<std::uint64_t>(s) * 101 + 7;
-        const Instance inst = make_random_instance(cfg);
-        IntermediateSrpt sched;
-        const double flow = simulate(inst, sched).total_flow;
-        stats.add(flow / opt_lower_bound(inst));
-      }
-      rnd.add_row({alpha, P, stats.mean(), stats.max(),
-                   theorem1_envelope(alpha, P)});
-    }
+    for (double P : random_Ps) rnd_points.emplace_back(alpha, P);
   }
+  const auto rnd_rows = runner.map<std::vector<Cell>>(
+      rnd_points.size(), [&](const exec::TaskContext& ctx) {
+        const auto [alpha, P] = rnd_points[ctx.index];
+        RunningStats stats;
+        for (int s = 0; s < seeds; ++s) {
+          RandomWorkloadConfig cfg;
+          cfg.machines = m;
+          cfg.jobs = 400;
+          cfg.P = P;
+          cfg.alpha_lo = cfg.alpha_hi = alpha;
+          cfg.load = 1.0;
+          cfg.seed = static_cast<std::uint64_t>(s) * 101 + 7;
+          const Instance inst = make_random_instance(cfg);
+          IntermediateSrpt sched;
+          const double flow = simulate(inst, sched).total_flow;
+          stats.add(flow / opt_lower_bound(inst));
+        }
+        return std::vector<Cell>{alpha, P, stats.mean(), stats.max(),
+                                 theorem1_envelope(alpha, P)};
+      });
+  Table rnd({"alpha", "P", "ratio_ub_mean", "ratio_ub_max",
+             "theorem1_envelope"});
+  for (const auto& row : rnd_rows) rnd.add_row(row);
   emit_experiment("E1b: ISRPT ratio vs P (random, critical load)",
                   "Average case: far below the worst-case envelope.", rnd);
   return 0;

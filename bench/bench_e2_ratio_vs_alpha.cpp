@@ -6,6 +6,9 @@
 // lower-bound family needs ever larger P as alpha -> 1, while the upper
 // bound's constant 4^{1/(1-alpha)} blows up. We report both the measured
 // ratios and the envelope so the gap is visible.
+//
+// Both alpha sweeps run sharded on bench::sweep_runner(); output bytes
+// are identical at any PARSCHED_JOBS value.
 #include <iostream>
 
 #include "analysis/experiment.hpp"
@@ -28,44 +31,55 @@ int main(int argc, char** argv) {
 
   const int seeds = static_cast<int>(opt.get_int("seeds", 3));
 
+  // One sweep task per alpha; rows merge in index order so the emitted
+  // bytes are identical at any PARSCHED_JOBS value.
+  auto runner = bench::sweep_runner();
+  const auto adv_rows = runner.map<std::vector<Cell>>(
+      alphas.size(), [&](const exec::TaskContext& ctx) {
+        const double alpha = alphas[ctx.index];
+        AdversaryConfig cfg;
+        cfg.machines = m;
+        cfg.P = P;
+        cfg.alpha = alpha;
+        const AdversaryParams params = adversary_params(cfg);
+        const auto pt = bench::run_adversary_point("isrpt", cfg);
+        return std::vector<Cell>{
+            alpha, params.r, static_cast<std::int64_t>(pt.phases),
+            std::string(pt.case1 ? "yes" : "no"), pt.ratio_lb(),
+            pt.ratio_extrapolated(),
+            theorem1_envelope(std::max(alpha, 0.01), P)};
+      });
   Table adv({"alpha", "r", "phases", "case1", "ratio_at_X0", "ratio_at_P^2",
              "theorem1_envelope"});
-  for (double alpha : alphas) {
-    AdversaryConfig cfg;
-    cfg.machines = m;
-    cfg.P = P;
-    cfg.alpha = alpha;
-    const AdversaryParams params = adversary_params(cfg);
-    const auto pt = bench::run_adversary_point("isrpt", cfg);
-    adv.add_row({alpha, params.r, static_cast<std::int64_t>(pt.phases),
-                 std::string(pt.case1 ? "yes" : "no"), pt.ratio_lb(),
-                 pt.ratio_extrapolated(),
-                 theorem1_envelope(std::max(alpha, 0.01), P)});
-  }
+  for (const auto& row : adv_rows) adv.add_row(row);
   emit_experiment(
       "E2a: ISRPT ratio vs alpha (adversarial, fixed P)",
       "The envelope 4^{1/(1-alpha)} log P grows steeply with alpha; the "
       "realized adversary weakens (fewer phases) as alpha -> 1.",
       adv);
 
+  const auto rnd_rows = runner.map<std::vector<Cell>>(
+      alphas.size(), [&](const exec::TaskContext& ctx) {
+        const double alpha = alphas[ctx.index];
+        RunningStats stats;
+        for (int s = 0; s < seeds; ++s) {
+          RandomWorkloadConfig cfg;
+          cfg.machines = m;
+          cfg.jobs = 400;
+          cfg.P = P;
+          cfg.alpha_lo = cfg.alpha_hi = alpha;
+          cfg.load = 1.0;
+          cfg.seed = static_cast<std::uint64_t>(s) * 311 + 17;
+          const Instance inst = make_random_instance(cfg);
+          IntermediateSrpt sched;
+          stats.add(simulate(inst, sched).total_flow /
+                    opt_lower_bound(inst));
+        }
+        return std::vector<Cell>{alpha, stats.mean(), stats.max(),
+                                 theorem1_envelope(alpha, P)};
+      });
   Table rnd({"alpha", "ratio_ub_mean", "ratio_ub_max", "theorem1_envelope"});
-  for (double alpha : alphas) {
-    RunningStats stats;
-    for (int s = 0; s < seeds; ++s) {
-      RandomWorkloadConfig cfg;
-      cfg.machines = m;
-      cfg.jobs = 400;
-      cfg.P = P;
-      cfg.alpha_lo = cfg.alpha_hi = alpha;
-      cfg.load = 1.0;
-      cfg.seed = static_cast<std::uint64_t>(s) * 311 + 17;
-      const Instance inst = make_random_instance(cfg);
-      IntermediateSrpt sched;
-      stats.add(simulate(inst, sched).total_flow / opt_lower_bound(inst));
-    }
-    rnd.add_row({alpha, stats.mean(), stats.max(),
-                 theorem1_envelope(alpha, P)});
-  }
+  for (const auto& row : rnd_rows) rnd.add_row(row);
   emit_experiment("E2b: ISRPT ratio vs alpha (random, critical load)",
                   "Average case across alpha at fixed P.", rnd);
   return 0;

@@ -5,9 +5,13 @@
 // the speed-m SRPT relaxation, which is tight there). For alpha < 1 it
 // degrades badly — it over-allocates processors — while Intermediate-SRPT
 // degrades only logarithmically.
+// The (alpha, policy) grid runs sharded on bench::sweep_runner(); cells
+// merge in index order so output bytes are identical at any
+// PARSCHED_JOBS value.
 #include <iostream>
 
 #include "analysis/experiment.hpp"
+#include "bench_common.hpp"
 #include "sched/registry.hpp"
 #include "sched/opt/relaxations.hpp"
 #include "simcore/engine.hpp"
@@ -27,29 +31,35 @@ int main(int argc, char** argv) {
   const int seeds = static_cast<int>(opt.get_int("seeds", 3));
   const std::vector<std::string> policies{"par-srpt", "isrpt", "equi"};
 
+  // One sweep task per (alpha, policy) cell, flattened row-major so the
+  // merged results reassemble into rows in the original order.
+  const auto mean_ratios = bench::sweep_runner().map<double>(
+      alphas.size() * policies.size(), [&](const exec::TaskContext& ctx) {
+        const double alpha = alphas[ctx.index / policies.size()];
+        const std::string& policy = policies[ctx.index % policies.size()];
+        RunningStats stats;
+        for (int s = 0; s < seeds; ++s) {
+          RandomWorkloadConfig cfg;
+          cfg.machines = m;
+          cfg.jobs = 300;
+          cfg.P = P;
+          cfg.alpha_lo = cfg.alpha_hi = alpha;
+          cfg.load = 1.0;
+          cfg.size_law = SizeLaw::kBimodal;  // short/long mix stresses
+                                             // over-allocation the most
+          cfg.seed = static_cast<std::uint64_t>(s) * 977 + 3;
+          const Instance inst = make_random_instance(cfg);
+          auto sched = make_scheduler(policy);
+          stats.add(simulate(inst, *sched).total_flow /
+                    opt_lower_bound(inst));
+        }
+        return stats.mean();
+      });
   Table t({"alpha", "par-srpt", "isrpt", "equi"});
-  for (double alpha : alphas) {
-    std::vector<double> ratios;
-    for (const auto& policy : policies) {
-      RunningStats stats;
-      for (int s = 0; s < seeds; ++s) {
-        RandomWorkloadConfig cfg;
-        cfg.machines = m;
-        cfg.jobs = 300;
-        cfg.P = P;
-        cfg.alpha_lo = cfg.alpha_hi = alpha;
-        cfg.load = 1.0;
-        cfg.size_law = SizeLaw::kBimodal;  // short/long mix stresses
-                                           // over-allocation the most
-        cfg.seed = static_cast<std::uint64_t>(s) * 977 + 3;
-        const Instance inst = make_random_instance(cfg);
-        auto sched = make_scheduler(policy);
-        stats.add(simulate(inst, *sched).total_flow /
-                  opt_lower_bound(inst));
-      }
-      ratios.push_back(stats.mean());
-    }
-    t.add_row({alpha, ratios[0], ratios[1], ratios[2]});
+  for (std::size_t a = 0; a < alphas.size(); ++a) {
+    const std::size_t base = a * policies.size();
+    t.add_row({alphas[a], mean_ratios[base], mean_ratios[base + 1],
+               mean_ratios[base + 2]});
   }
   emit_experiment(
       "E5: ratio vs alpha across the alpha = 1 boundary (vs provable LB)",

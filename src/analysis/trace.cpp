@@ -162,7 +162,9 @@ void AllocationTrace::render_gantt(std::ostream& os, int width,
             std::max(cells[static_cast<std::size_t>(b)], s.share);
       }
     }
-    os << std::setw(6) << ("j" + std::to_string(id)) << " |";
+    std::string row_label = "j";  // built up: GCC 12 -Werror=restrict
+    row_label += std::to_string(id);
+    os << std::setw(6) << row_label << " |";
     for (double c : cells) {
       os << (c <= 0.0      ? ' '
              : c < 1.0  ? '.'

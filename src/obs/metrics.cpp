@@ -42,6 +42,18 @@ void Histogram::observe(double value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::merge(const HistogramData& other) {
+  if (other.bounds != bounds_) {
+    throw std::logic_error(
+        "Histogram::merge: bucket bounds differ from this histogram's");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(other.counts[i], std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+}
+
 HistogramData Histogram::snapshot() const {
   HistogramData d;
   d.bounds = bounds_;
@@ -151,6 +163,25 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
               return a.name < b.name;
             });
   return snap;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& snap) {
+  for (const MetricSample& s : snap.samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        counter(s.name).inc(static_cast<std::uint64_t>(s.value));
+        break;
+      case MetricSample::Kind::kGauge:
+        gauge(s.name).set(s.value);
+        break;
+      case MetricSample::Kind::kTimer:
+        timer(s.name).add_bulk(s.value, s.count);
+        break;
+      case MetricSample::Kind::kHistogram:
+        histogram(s.name, s.histogram.bounds).merge(s.histogram);
+        break;
+    }
+  }
 }
 
 MetricsRegistry& MetricsRegistry::global() {

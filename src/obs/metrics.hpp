@@ -91,6 +91,12 @@ class TimerStat {
     seconds_.fetch_add(seconds, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Fold in an already-aggregated span set (registry merging): `seconds`
+  /// of accumulated time over `count` calls.
+  void add_bulk(double seconds, std::uint64_t count) {
+    seconds_.fetch_add(seconds, std::memory_order_relaxed);
+    count_.fetch_add(count, std::memory_order_relaxed);
+  }
   [[nodiscard]] double seconds() const {
     return seconds_.load(std::memory_order_relaxed);
   }
@@ -109,6 +115,9 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double value);
+  /// Fold in a captured histogram with identical bounds (registry
+  /// merging); throws std::logic_error on a bucket mismatch.
+  void merge(const HistogramData& other);
   [[nodiscard]] HistogramData snapshot() const;
 
  private:
@@ -171,6 +180,14 @@ class MetricsRegistry {
                        std::vector<double> upper_bounds);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Fold a captured snapshot into this registry: counters and timers
+  /// accumulate, gauges last-write-wins, histograms merge bucketwise.
+  /// Instruments are created on demand; a name that exists with a
+  /// different kind (or different histogram bounds) throws
+  /// std::logic_error. This is how exec/sweep.hpp folds per-task
+  /// registries back into the caller's registry in task-index order.
+  void merge(const MetricsSnapshot& snap);
 
   /// Process-wide default registry (benches, CLI). Library code takes a
   /// registry by pointer instead of reaching for this.

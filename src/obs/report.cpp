@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -19,6 +20,15 @@ std::string report_path(const std::string& slug) {
   if (const char* d = std::getenv("PARSCHED_REPORT_DIR");
       d != nullptr && d[0] != '\0') {
     dir = d;
+    // Create the directory on first use so a fresh checkout (or a CI
+    // step pointing at a scratch path) does not fail its first
+    // open_output with a confusing "cannot open" error.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      throw std::runtime_error("cannot create PARSCHED_REPORT_DIR '" +
+                               dir + "': " + ec.message());
+    }
     if (dir.back() != '/') dir += '/';
   }
   return dir + "BENCH_" + slug + ".json";

@@ -49,8 +49,9 @@ namespace parsched::obs {
 /// True when PARSCHED_REPORT is set to a non-empty, non-"0" value.
 [[nodiscard]] bool report_enabled();
 
-/// "BENCH_<slug>.json", under $PARSCHED_REPORT_DIR when set (the
-/// directory must exist), else the current directory.
+/// "BENCH_<slug>.json", under $PARSCHED_REPORT_DIR when set (created,
+/// parents included, if missing), else the current directory. Throws
+/// std::runtime_error when the directory cannot be created.
 [[nodiscard]] std::string report_path(const std::string& slug);
 
 /// One simulated (policy, instance) measurement.

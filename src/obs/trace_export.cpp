@@ -120,7 +120,11 @@ void TraceExporter::write_chrome_trace(const std::string& path) const {
   // Allocation segments as complete ("X") events on the job's track.
   for (const Segment& s : segments_) {
     w.begin_object();
-    w.kv("name", "x" + json_number(s.share));
+    // Built via append: GCC 12's -Werror=restrict misfires on
+    // operator+(const char*, std::string&&) here.
+    std::string label = "x";
+    label += json_number(s.share);
+    w.kv("name", label);
     w.kv("ph", "X").kv("pid", pid);
     w.kv("tid", static_cast<std::int64_t>(s.job) + 1);
     w.kv("ts", s.t0 * scale);

@@ -405,6 +405,31 @@ TEST(Report, PathRespectsEnvironment) {
   ::unsetenv("PARSCHED_REPORT");
 }
 
+// A fresh PARSCHED_REPORT_DIR (parents included) is created on demand:
+// pointing it at a nonexistent nested directory must not fail the first
+// open_output, and the report must land inside it.
+TEST(Report, MissingReportDirIsCreated) {
+  const std::string dir = testing::TempDir() + "parsched_report_dir_test/n1/n2";
+  std::filesystem::remove_all(testing::TempDir() +
+                              "parsched_report_dir_test");
+  ASSERT_FALSE(std::filesystem::exists(dir));
+
+  ::setenv("PARSCHED_REPORT_DIR", dir.c_str(), 1);
+  const std::string path = obs::report_path("made");
+  ::unsetenv("PARSCHED_REPORT_DIR");
+
+  EXPECT_EQ(path, dir + "/BENCH_made.json");
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+
+  obs::BenchReport report("made");
+  report.write(path);  // must succeed without pre-creating anything
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::string err;
+  EXPECT_TRUE(obs::json_syntax_valid(slurp(path), &err)) << err;
+  std::filesystem::remove_all(testing::TempDir() +
+                              "parsched_report_dir_test");
+}
+
 // ----------------------------------------------------- checked file output
 
 TEST(FileWriters, WriteFailuresRaiseInsteadOfTruncating) {

@@ -36,6 +36,15 @@ Rules (scoped to src/ by default):
                     returning — a bare ofstream silently truncates on
                     disk-full or short writes.
 
+  raw-thread        spelling `std::thread` / `std::jthread` /
+                    `std::async` (or including <thread>) is banned in
+                    src/ outside exec/thread_pool.{hpp,cpp}: all
+                    concurrency must run through the work-stealing
+                    ThreadPool so parallelism is instrumented, TSan-
+                    covered, and honors --jobs / PARSCHED_JOBS
+                    uniformly. (<future>, mutexes and atomics are fine
+                    anywhere — only thread *creation* is fenced.)
+
 Exit status 0 when clean, 1 when any rule fires; findings are printed as
 `file:line: [rule] message` so editors and CI annotate them directly.
 
@@ -57,6 +66,7 @@ HEADER_SUFFIXES = {".hpp", ".h"}
 KNOWN_PREFIXES = (
     "analysis/",
     "check/",
+    "exec/",
     "obs/",
     "sched/",
     "simcore/",
@@ -83,6 +93,9 @@ RE_RAW_CHRONO = re.compile(
     r"|(?<![\w.:])(?:clock|clock_gettime|gettimeofday)\s*\("
 )
 RE_RAW_OFSTREAM = re.compile(r"std\s*::\s*ofstream\b")
+RE_RAW_THREAD = re.compile(
+    r"std\s*::\s*(?:jthread|thread|async)\b|#\s*include\s*<thread>"
+)
 
 
 def strip_code_noise(line: str) -> str:
@@ -103,6 +116,9 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
     is_contract = rel_posix.endswith("check/contract.hpp")
     is_mathx = rel_posix.endswith("util/mathx.hpp")
     is_fsio = rel_posix.endswith("util/fsio.hpp")
+    is_thread_pool = rel_posix.endswith(
+        ("exec/thread_pool.hpp", "exec/thread_pool.cpp")
+    )
     in_obs = "/obs/" in f"/{rel_posix}"
     in_src = "/src/" in f"/{rel}" or rel.startswith("src/")
 
@@ -153,6 +169,14 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
                 f"{rel}:{lineno}: [raw-ofstream] bare std::ofstream; use "
                 "open_output/finish_output from util/fsio.hpp so the "
                 "stream state is checked before returning"
+            )
+
+        if in_src and not is_thread_pool and RE_RAW_THREAD.search(code):
+            findings.append(
+                f"{rel}:{lineno}: [raw-thread] raw thread creation outside "
+                "exec/thread_pool; submit work to exec::ThreadPool / "
+                "exec::SweepRunner so concurrency is instrumented and "
+                "honors --jobs / PARSCHED_JOBS"
             )
 
         if (
