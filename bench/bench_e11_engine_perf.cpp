@@ -131,11 +131,14 @@ Table measure_parallel_speedup() {
     PARSCHED_CHECK(total == flow_j1,
                    "sweep flow totals diverged across job counts — "
                    "determinism contract violated");
+    // Coarse clocks can report 0 wall time on a fast machine; report a
+    // speedup of 0 rather than emitting inf into the table/JSON.
+    const double speedup =
+        st.wall_seconds > 0.0 ? wall_j1 / st.wall_seconds : 0.0;
     sp.add_row({static_cast<std::int64_t>(j),
                 static_cast<std::int64_t>(kSweepTasks), st.wall_seconds,
-                wall_j1 / st.wall_seconds, st.merge_seconds,
-                st.idle_fraction(), static_cast<std::int64_t>(st.steals),
-                total});
+                speedup, st.merge_seconds, st.idle_fraction(),
+                static_cast<std::int64_t>(st.steals), total});
   }
   return sp;
 }

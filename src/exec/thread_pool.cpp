@@ -52,15 +52,6 @@ ThreadPool::ThreadPool(Config cfg) : metrics_(cfg.metrics) {
 ThreadPool::~ThreadPool() { shutdown(true); }
 
 void ThreadPool::enqueue(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lk(wake_mu_);
-    if (!accepting_) {
-      throw std::runtime_error("ThreadPool::submit after shutdown");
-    }
-    outstanding_.fetch_add(1, std::memory_order_relaxed);
-    ++epoch_;
-  }
-  if (tasks_counter_ != nullptr) tasks_counter_->inc();
   std::size_t target;
   if (tl_pool == this) {
     target = tl_index;  // nested task: stay on the submitting worker
@@ -69,9 +60,24 @@ void ThreadPool::enqueue(std::function<void()> task) {
              workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lk(workers_[target]->mu);
-    workers_[target]->deque.push_back(std::move(task));
+    // The push must become visible before the epoch bump, and both must
+    // be ordered against shutdown's accepting_ flip — otherwise a worker
+    // can consume the epoch increment before the task lands (lost
+    // wakeup), or a racing non-draining shutdown can clear the deques
+    // before this push arrives (stranded outstanding_ count). Holding
+    // wake_mu_ across check + push + bump closes both windows.
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    if (!accepting_) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    {
+      std::lock_guard<std::mutex> wlk(workers_[target]->mu);
+      workers_[target]->deque.push_back(std::move(task));
+    }
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    ++epoch_;
   }
+  if (tasks_counter_ != nullptr) tasks_counter_->inc();
   wake_cv_.notify_one();
 }
 
@@ -93,7 +99,7 @@ bool ThreadPool::try_get_task(std::size_t self,
   }
   const std::size_t n = workers_.size();
   const std::size_t start = static_cast<std::size_t>(xorshift(steal_state));
-  for (std::size_t k = 1; k < n; ++k) {
+  for (std::size_t k = 0; k < n; ++k) {
     const std::size_t victim = (start + k) % n;
     if (victim == self) continue;
     Worker& w = *workers_[victim];
@@ -157,6 +163,11 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::shutdown(bool drain) {
+  // Serialize concurrent shutdowns end-to-end: a second caller (e.g. the
+  // destructor racing an explicit shutdown from another thread) must not
+  // return until the first has finished joining, or it could destroy
+  // workers_ while the first caller's join is still touching them.
+  std::lock_guard<std::mutex> serial(shutdown_mu_);
   {
     std::lock_guard<std::mutex> lk(wake_mu_);
     if (joined_) return;
@@ -169,7 +180,6 @@ void ThreadPool::shutdown(bool drain) {
   if (drain) wait_idle();
   {
     std::lock_guard<std::mutex> lk(wake_mu_);
-    if (joined_) return;
     joined_ = true;
     stop_ = true;
     halt_.store(true, std::memory_order_release);

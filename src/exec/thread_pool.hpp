@@ -109,8 +109,17 @@ class ThreadPool {
   obs::Counter* steals_counter_ = nullptr;
   obs::TimerStat* idle_timer_ = nullptr;
 
+  // Held for the whole of shutdown(): concurrent shutdown callers (the
+  // destructor racing an explicit call) serialize here, so the second
+  // caller cannot return — and the destructor cannot free workers_ —
+  // until the first has finished joining.
+  std::mutex shutdown_mu_;
+
   // wake_mu_ guards epoch_/stop_/accepting_ and serializes the
   // check-then-wait of sleeping workers against enqueue's bump+notify.
+  // Lock order: shutdown_mu_ → wake_mu_ → Worker::mu (enqueue pushes the
+  // task under wake_mu_ so the push is ordered against both the epoch
+  // bump and shutdown's accepting_ flip).
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;  // workers sleep here
   std::condition_variable idle_cv_;  // wait_idle sleeps here

@@ -389,6 +389,24 @@ TEST(ThreadPool, ShutdownWithoutDrainBreaksPendingPromises) {
   }
 }
 
+// Concurrent shutdown calls must serialize end-to-end: the loser may not
+// return (letting the pool be destroyed) while the winner is still
+// joining worker threads. TSan flags the use-after-free if this breaks.
+TEST(ThreadPool, ConcurrentShutdownCallsAreSafe) {
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int> done{0};
+    exec::ThreadPool pool(pool_config(4));
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit(
+          [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    std::thread racer([&pool] { pool.shutdown(true); });
+    pool.shutdown(true);
+    racer.join();
+    EXPECT_EQ(done.load(), 32);
+  }
+}
+
 TEST(ThreadPool, DestructorDrainsOutstandingWork) {
   std::atomic<int> done{0};
   {
