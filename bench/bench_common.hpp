@@ -22,7 +22,6 @@
 // identical at any job count.
 #pragma once
 
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -34,16 +33,14 @@
 #include "sched/opt/relaxations.hpp"
 #include "sched/registry.hpp"
 #include "simcore/engine.hpp"
+#include "util/env.hpp"
 
 namespace parsched::bench {
 
 using parsched::AdversaryPoint;
 using parsched::P_for_phases;
 
-inline bool audit_enabled() {
-  const char* v = std::getenv("PARSCHED_AUDIT");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
+inline bool audit_enabled() { return env::get_flag("PARSCHED_AUDIT"); }
 
 /// Drop-in for parsched::run_adversary_point that honors PARSCHED_AUDIT:
 /// when enabled, the ALG run is audited and any invariant violation

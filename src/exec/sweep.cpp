@@ -1,9 +1,10 @@
 #include "exec/sweep.hpp"
 
-#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <string>
+
+#include "util/env.hpp"
 
 namespace parsched::exec {
 
@@ -19,12 +20,9 @@ std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index) {
 }
 
 int env_jobs() {
-  const char* v = std::getenv("PARSCHED_JOBS");
-  if (v == nullptr || v[0] == '\0') return 0;
-  char* end = nullptr;
-  const long n = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || n <= 0 || n > 4096) return 0;
-  return static_cast<int>(n);
+  // Malformed values (PARSCHED_JOBS=abc, 0, -3, 1e9) warn on stderr via
+  // env::get_int and fall back to 0 (= "unset": all hardware threads).
+  return static_cast<int>(env::get_int("PARSCHED_JOBS", 0, 1, 4096));
 }
 
 int resolve_jobs(int requested) {

@@ -85,4 +85,45 @@ class JsonWriter {
 [[nodiscard]] bool json_syntax_valid(std::string_view text,
                                      std::string* error = nullptr);
 
+/// A parsed JSON document (the read-side mirror of JsonWriter; consumed
+/// by the serve/ NDJSON protocol). Numbers are stored as doubles parsed
+/// with std::from_chars, so values rendered by json_number() round-trip
+/// bit-exactly. Object member order is preserved; duplicate keys keep
+/// the last occurrence (find() returns it).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Typed member access with defaults (absent / wrong kind falls back).
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+};
+
+/// Parse one JSON document (strict RFC-8259, the same grammar as
+/// json_syntax_valid). On failure returns false and, when `error` is
+/// non-null, sets an "offset N: reason" message; `out` is unspecified.
+[[nodiscard]] bool json_parse(std::string_view text, JsonValue& out,
+                              std::string* error = nullptr);
+
 }  // namespace parsched::obs

@@ -1,25 +1,20 @@
 #include "obs/report.hpp"
 
-#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "util/env.hpp"
 #include "util/fsio.hpp"
 #include "util/table.hpp"
 
 namespace parsched::obs {
 
-bool report_enabled() {
-  const char* v = std::getenv("PARSCHED_REPORT");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
+bool report_enabled() { return env::get_flag("PARSCHED_REPORT"); }
 
 std::string report_path(const std::string& slug) {
-  std::string dir;
-  if (const char* d = std::getenv("PARSCHED_REPORT_DIR");
-      d != nullptr && d[0] != '\0') {
-    dir = d;
+  std::string dir = env::get_string("PARSCHED_REPORT_DIR");
+  if (!dir.empty()) {
     // Create the directory on first use so a fresh checkout (or a CI
     // step pointing at a scratch path) does not fail its first
     // open_output with a confusing "cannot open" error.

@@ -94,4 +94,22 @@ Allocation QuantizedEqui::allocate(const SchedulerContext& ctx) {
   return alloc;
 }
 
+std::string QuantizedEqui::save_state() const {
+  return std::to_string(round_);
+}
+
+void QuantizedEqui::load_state(const std::string& state) {
+  std::size_t used = 0;
+  std::uint64_t round = 0;
+  try {
+    round = std::stoull(state, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || used != state.size()) {
+    throw std::invalid_argument("bad quantized-equi state: '" + state + "'");
+  }
+  round_ = round;
+}
+
 }  // namespace parsched

@@ -46,6 +46,12 @@ class QuantizedEqui final : public Scheduler {
   [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
   void reset() override { round_ = 0; }
 
+  // The only stateful policy: the round-robin cursor must survive serve/
+  // session snapshots or the restored run would restart its slice
+  // rotation and diverge from the unsnapshotted one.
+  [[nodiscard]] std::string save_state() const override;
+  void load_state(const std::string& state) override;
+
  private:
   double quantum_;
   std::uint64_t round_ = 0;

@@ -1,0 +1,285 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "serve/transport.hpp"
+
+namespace parsched::serve {
+
+namespace {
+
+constexpr int kMaxRetries = 64;
+
+void backoff_sleep(int attempt) {
+  timespec ts{};
+  // 1ms, doubling, capped at 50ms — enough for a strand to drain a few
+  // ops without turning the soak into a sleep benchmark.
+  long ns = 1'000'000L << (attempt < 6 ? attempt : 6);
+  if (ns > 50'000'000L) ns = 50'000'000L;
+  ts.tv_nsec = ns;
+  nanosleep(&ts, nullptr);
+}
+
+/// splitmix64 step — the same generator family exec::task_seed uses, so
+/// streams stay decorrelated across sessions.
+std::uint64_t next_u64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double next_unit(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+struct Shared {
+  std::mutex mu;
+  LoadgenResult result;
+  obs::Counter* requests = nullptr;
+  obs::Counter* rejects = nullptr;
+  obs::Counter* errors = nullptr;
+  obs::Histogram* latency_ms = nullptr;
+};
+
+/// One timed request with reject-retry. Returns the parsed response;
+/// throws on protocol errors or exhausted retries.
+obs::JsonValue timed_request(Client& client, const std::string& line,
+                             Shared& shared) {
+  for (int attempt = 0;; ++attempt) {
+    const double t0 = obs::monotonic_seconds();
+    const std::string resp = client.request(line);
+    const double ms = (obs::monotonic_seconds() - t0) * 1e3;
+    if (shared.requests != nullptr) shared.requests->inc();
+    if (shared.latency_ms != nullptr) shared.latency_ms->observe(ms);
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      ++shared.result.requests;
+    }
+    obs::JsonValue v;
+    std::string err;
+    if (!obs::json_parse(resp, v, &err)) {
+      throw std::runtime_error("unparseable response: " + err);
+    }
+    if (v.bool_or("ok", false)) return v;
+    const std::string reject = v.string_or("reject", "");
+    if (reject.empty()) {
+      throw std::runtime_error("server error: " +
+                               v.string_or("error", "unknown"));
+    }
+    // Backpressure: count, back off, retry the same request.
+    if (shared.rejects != nullptr) shared.rejects->inc();
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      ++shared.result.rejects;
+    }
+    if (attempt >= kMaxRetries) {
+      throw std::runtime_error("request rejected " +
+                               std::to_string(kMaxRetries) +
+                               " times (" + reject + "): " + line);
+    }
+    backoff_sleep(attempt);
+  }
+}
+
+std::string admit_line(int request_id, std::uint64_t session,
+                       std::uint32_t job_id, double release, double size,
+                       double alpha) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("op", "admit");
+  w.kv("id", request_id);
+  w.kv("session", session);
+  w.key("job");
+  w.begin_object();
+  w.kv("id", job_id);
+  w.kv("release", release);
+  w.kv("size", size);
+  w.kv("curve", "pow:" + obs::json_number(alpha));
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string simple_line(const char* op, int request_id,
+                        std::uint64_t session) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("op", op);
+  w.kv("id", request_id);
+  w.kv("session", session);
+  w.end_object();
+  return os.str();
+}
+
+SessionOutcome drive_session(const LoadgenConfig& cfg, int index,
+                             Shared& shared) {
+  const double t0 = obs::monotonic_seconds();
+  Client client(cfg.socket_path, cfg.connect_timeout);
+  std::uint64_t rng = exec::task_seed(cfg.seed, static_cast<std::uint64_t>(
+                                                    index));
+  int rid = 0;
+
+  std::ostringstream open_os;
+  {
+    obs::JsonWriter w(open_os);
+    w.begin_object();
+    w.kv("op", "open");
+    w.kv("id", rid++);
+    w.kv("policy", cfg.policy);
+    w.kv("machines", cfg.machines);
+    w.end_object();
+  }
+  const obs::JsonValue opened =
+      timed_request(client, open_os.str(), shared);
+  const auto session =
+      static_cast<std::uint64_t>(opened.number_or("session", 0.0));
+  if (session == 0) throw std::runtime_error("open returned no session");
+
+  double last_release = 0.0;
+  for (int i = 0; i < cfg.admissions; ++i) {
+    const double release =
+        static_cast<double>(i) / (cfg.rate > 0.0 ? cfg.rate : 1.0);
+    const double size = 0.5 + 1.5 * next_unit(rng);
+    const double alpha = 0.25 + 0.5 * next_unit(rng);
+    timed_request(client,
+                  admit_line(rid++, session,
+                             static_cast<std::uint32_t>(i), release, size,
+                             alpha),
+                  shared);
+    last_release = release;
+    if (cfg.advance_every > 0 && (i + 1) % cfg.advance_every == 0) {
+      std::ostringstream adv;
+      obs::JsonWriter w(adv);
+      w.begin_object();
+      w.kv("op", "advance");
+      w.kv("id", rid++);
+      w.kv("session", session);
+      w.kv("to", release);
+      w.end_object();
+      timed_request(client, adv.str(), shared);
+    }
+  }
+  (void)last_release;
+  timed_request(client, simple_line("query", rid++, session), shared);
+  const obs::JsonValue fin =
+      timed_request(client, simple_line("finish", rid++, session), shared);
+  timed_request(client, simple_line("close", rid++, session), shared);
+
+  SessionOutcome out;
+  out.session_index = index;
+  out.jobs = static_cast<std::uint64_t>(fin.number_or("jobs", 0.0));
+  out.total_flow = fin.number_or("total_flow", 0.0);
+  out.weighted_flow = fin.number_or("weighted_flow", 0.0);
+  out.fractional_flow = fin.number_or("fractional_flow", 0.0);
+  out.makespan = fin.number_or("makespan", 0.0);
+  out.decisions = static_cast<std::uint64_t>(fin.number_or("decisions",
+                                                           0.0));
+  out.events = static_cast<std::uint64_t>(fin.number_or("events", 0.0));
+  out.wall_seconds = obs::monotonic_seconds() - t0;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t LoadgenResult::jobs_completed() const {
+  std::uint64_t n = 0;
+  for (const SessionOutcome& s : sessions) n += s.jobs;
+  return n;
+}
+
+double LoadgenResult::total_flow() const {
+  double f = 0.0;
+  for (const SessionOutcome& s : sessions) f += s.total_flow;
+  return f;
+}
+
+LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
+  if (cfg.socket_path.empty()) {
+    throw std::runtime_error("loadgen requires a socket path");
+  }
+  if (cfg.sessions < 1 || cfg.admissions < 1) {
+    throw std::runtime_error("loadgen needs sessions >= 1, admissions >= 1");
+  }
+
+  Shared shared;
+  if (cfg.metrics != nullptr) {
+    shared.requests = &cfg.metrics->counter("serve.client.requests");
+    shared.rejects = &cfg.metrics->counter("serve.client.rejects");
+    shared.errors = &cfg.metrics->counter("serve.client.errors");
+    shared.latency_ms = &cfg.metrics->histogram(
+        "serve.client.latency_ms",
+        {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+         200.0, 500.0, 1000.0});
+  }
+  shared.result.sessions.resize(static_cast<std::size_t>(cfg.sessions));
+
+  const double t0 = obs::monotonic_seconds();
+  exec::ThreadPool pool(
+      exec::ThreadPool::Config{cfg.sessions, cfg.metrics});
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(static_cast<std::size_t>(cfg.sessions));
+  for (int i = 0; i < cfg.sessions; ++i) {
+    tasks.push_back(pool.submit([&cfg, &shared, i] {
+      try {
+        SessionOutcome out = drive_session(cfg, i, shared);
+        std::lock_guard<std::mutex> lock(shared.mu);
+        shared.result.sessions[static_cast<std::size_t>(i)] =
+            std::move(out);
+      } catch (const std::exception&) {
+        if (shared.errors != nullptr) shared.errors->inc();
+        {
+          std::lock_guard<std::mutex> lock(shared.mu);
+          ++shared.result.errors;
+        }
+        throw;
+      }
+    }));
+  }
+  std::string first_error;
+  for (auto& t : tasks) {
+    try {
+      t.get();
+    } catch (const std::exception& e) {
+      if (first_error.empty()) first_error = e.what();
+    }
+  }
+  pool.shutdown(true);
+
+  if (cfg.shutdown_after) {
+    Client admin(cfg.socket_path, cfg.connect_timeout);
+    (void)admin.request(R"({"op":"shutdown","id":0})");
+  }
+
+  shared.result.wall_seconds = obs::monotonic_seconds() - t0;
+  if (!first_error.empty() && shared.result.errors == 0) {
+    // A connect failure throws before any request is counted.
+    shared.result.errors = 1;
+  }
+  LoadgenResult out = std::move(shared.result);
+  if (!first_error.empty()) {
+    // Sessions that failed leave zeroed outcomes; callers treat
+    // errors > 0 as a failed soak. Surface the first cause.
+    out.sessions.erase(
+        std::remove_if(out.sessions.begin(), out.sessions.end(),
+                       [](const SessionOutcome& s) { return s.jobs == 0; }),
+        out.sessions.end());
+  }
+  return out;
+}
+
+}  // namespace parsched::serve

@@ -1,0 +1,74 @@
+// parsched — the serve load generator.
+//
+// run_loadgen() replays a deterministic synthetic arrival log against a
+// running `parsched serve --socket` instance: N concurrent client
+// sessions (one connection + one protocol session each, driven from the
+// exec::ThreadPool), each admitting a seeded stream of jobs and
+// advancing its replay clock along the arrivals, then finishing and
+// closing. Per-request round-trip latencies land in the metrics
+// registry as the serve.client.latency_ms histogram, together with
+// serve.client.{requests,rejects,errors} counters — the payload of the
+// BENCH_serve_loadgen.json report the CI soak leg validates.
+//
+// Backpressure discipline: a load rejection ("reject" in the response —
+// queue full, draining) is counted and retried with backoff; a protocol
+// error (ok=false without "reject") is counted as an error and fails
+// the session. The soak invariant is rejects >= 0 but errors == 0 —
+// the server under overload must shed load, never wedge or corrupt.
+//
+// Job streams are derived with exec::task_seed(seed, session), so a
+// given (seed, sessions, admissions, rate) configuration produces the
+// same simulated workload — and the same total flow — every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace parsched::serve {
+
+struct LoadgenConfig {
+  std::string socket_path;
+  int sessions = 8;
+  int admissions = 200;  ///< jobs per session
+  double rate = 64.0;    ///< arrivals per simulated second
+  int advance_every = 16;  ///< advance the replay clock every k admissions
+  std::string policy = "equi";
+  int machines = 4;
+  std::uint64_t seed = 1;
+  double connect_timeout = 10.0;
+  bool shutdown_after = false;  ///< send {"op":"shutdown"} when done
+  obs::MetricsRegistry* metrics = nullptr;  ///< borrowed; may be null
+};
+
+/// Outcome of one session's finished run (parsed from the protocol).
+struct SessionOutcome {
+  int session_index = 0;
+  std::uint64_t jobs = 0;
+  double total_flow = 0.0;
+  double weighted_flow = 0.0;
+  double fractional_flow = 0.0;
+  double makespan = 0.0;
+  std::uint64_t decisions = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;  ///< client-side session wall time
+};
+
+struct LoadgenResult {
+  std::uint64_t requests = 0;
+  std::uint64_t rejects = 0;  ///< backpressure responses (retried)
+  std::uint64_t errors = 0;   ///< protocol/session failures
+  double wall_seconds = 0.0;
+  std::vector<SessionOutcome> sessions;  ///< by session index
+
+  [[nodiscard]] std::uint64_t jobs_completed() const;
+  [[nodiscard]] double total_flow() const;
+};
+
+/// Run the generator; throws std::runtime_error when the server cannot
+/// be reached at all.
+[[nodiscard]] LoadgenResult run_loadgen(const LoadgenConfig& cfg);
+
+}  // namespace parsched::serve

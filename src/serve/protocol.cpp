@@ -1,0 +1,316 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "serve/snapshot.hpp"
+#include "speedup/curve.hpp"
+#include "util/fsio.hpp"
+
+namespace parsched::serve {
+
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+
+/// The request id, carried verbatim into the response. Requests without
+/// an id still get responses (id omitted).
+struct RequestId {
+  bool present = false;
+  double value = 0.0;
+};
+
+std::string error_line(const RequestId& id, const std::string& message,
+                       const char* reject = nullptr) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (id.present) w.kv("id", id.value);
+  w.kv("ok", false);
+  w.kv("error", message);
+  if (reject != nullptr) w.kv("reject", reject);
+  w.end_object();
+  return os.str();
+}
+
+SpeedupCurve parse_curve(const std::string& spec) {
+  if (spec.empty() || spec == "par") return SpeedupCurve::fully_parallel();
+  if (spec == "seq") return SpeedupCurve::sequential();
+  if (spec.rfind("pow:", 0) == 0) {
+    std::size_t used = 0;
+    double alpha = 0.0;
+    try {
+      alpha = std::stod(spec.substr(4), &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used == 0 || used != spec.size() - 4 || !(alpha >= 0.0) ||
+        !(alpha <= 1.0)) {
+      throw std::invalid_argument("bad power-law curve spec: " + spec);
+    }
+    return SpeedupCurve::power_law(alpha);
+  }
+  throw std::invalid_argument("unknown curve spec: " + spec +
+                              " (expected par|seq|pow:<alpha>)");
+}
+
+Job parse_job(const JsonValue& jv) {
+  if (!jv.is_object()) throw std::invalid_argument("job must be an object");
+  const JsonValue* id = jv.find("id");
+  if (id == nullptr || !id->is_number()) {
+    throw std::invalid_argument("job.id (number) is required");
+  }
+  Job job;
+  job.id = static_cast<JobId>(id->number);
+  job.release = jv.number_or("release", 0.0);
+  job.size = jv.number_or("size", 1.0);
+  job.weight = jv.number_or("weight", 1.0);
+  job.curve = parse_curve(jv.string_or("curve", "par"));
+  if (const JsonValue* phases = jv.find("phases"); phases != nullptr) {
+    if (!phases->is_array()) {
+      throw std::invalid_argument("job.phases must be an array");
+    }
+    for (const JsonValue& pv : phases->array) {
+      if (!pv.is_object()) {
+        throw std::invalid_argument("job phase must be an object");
+      }
+      JobPhase phase;
+      phase.work = pv.number_or("work", 0.0);
+      phase.curve = parse_curve(pv.string_or("curve", "par"));
+      job.phases.push_back(std::move(phase));
+    }
+  }
+  return job;
+}
+
+/// Shared shape of the query/finish payloads.
+void write_result_fields(JsonWriter& w, const SimResult& r) {
+  w.kv("jobs", static_cast<std::uint64_t>(r.records.size()));
+  w.kv("total_flow", r.total_flow);
+  w.kv("weighted_flow", r.weighted_flow);
+  w.kv("fractional_flow", r.fractional_flow);
+  w.kv("makespan", r.makespan);
+  w.kv("decisions", r.decisions);
+  w.kv("events", r.events);
+}
+
+std::string query_line(const RequestId& id, const Session& s) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (id.present) w.kv("id", id.value);
+  w.kv("ok", true);
+  w.kv("policy", s.policy_name());
+  w.kv("time", s.time());
+  w.kv("frontier", s.frontier());
+  w.kv("alive", static_cast<std::uint64_t>(s.alive_count()));
+  w.kv("pending", static_cast<std::uint64_t>(s.pending_count()));
+  w.kv("finished", s.finished());
+  write_result_fields(w, s.partial());
+  w.end_object();
+  return os.str();
+}
+
+std::string finish_line(const RequestId& id, const SimResult& r) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (id.present) w.kv("id", id.value);
+  w.kv("ok", true);
+  write_result_fields(w, r);
+  w.key("records");
+  w.begin_array();
+  for (const JobRecord& rec : r.records) {
+    w.begin_object();
+    w.kv("job", static_cast<std::uint64_t>(rec.job.id));
+    w.kv("release", rec.job.release);
+    w.kv("completion", rec.completion);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string ok_line(const RequestId& id) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (id.present) w.kv("id", id.value);
+  w.kv("ok", true);
+  w.end_object();
+  return os.str();
+}
+
+std::string session_line(const RequestId& id, SessionId sid) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (id.present) w.kv("id", id.value);
+  w.kv("ok", true);
+  w.kv("session", static_cast<std::uint64_t>(sid));
+  w.end_object();
+  return os.str();
+}
+
+const char* reject_reason(Submit s) {
+  return s == Submit::kAccepted ? nullptr : to_string(s);
+}
+
+}  // namespace
+
+bool ProtocolHandler::handle_line(std::string_view line, WriteFn write) {
+  RequestId id;
+  JsonValue req;
+  std::string parse_error;
+  if (!obs::json_parse(line, req, &parse_error)) {
+    write(error_line(id, "bad JSON: " + parse_error));
+    return true;
+  }
+  if (!req.is_object()) {
+    write(error_line(id, "request must be a JSON object"));
+    return true;
+  }
+  if (const JsonValue* idv = req.find("id");
+      idv != nullptr && idv->is_number()) {
+    id.present = true;
+    id.value = idv->number;
+  }
+  const std::string op = req.string_or("op", "");
+  if (op.empty()) {
+    write(error_line(id, "missing op"));
+    return true;
+  }
+
+  try {
+    if (op == "ping") {
+      write(ok_line(id));
+      return true;
+    }
+    if (op == "shutdown") {
+      server_.drain();  // flushes every queued response first
+      write(ok_line(id));
+      return false;
+    }
+    if (op == "open") {
+      Session::Config scfg;
+      scfg.policy = req.string_or("policy", "equi");
+      scfg.machines = static_cast<int>(req.number_or("machines", 1.0));
+      scfg.speed = req.number_or("speed", 1.0);
+      SessionId sid = 0;
+      const Submit verdict = server_.open(scfg, sid);
+      if (verdict != Submit::kAccepted) {
+        write(error_line(id, "open rejected", reject_reason(verdict)));
+        return true;
+      }
+      write(session_line(id, sid));
+      return true;
+    }
+    if (op == "restore") {
+      const std::string path = req.string_or("path", "");
+      if (path.empty()) {
+        write(error_line(id, "restore requires path"));
+        return true;
+      }
+      auto session = Session::restore(read_snapshot_file(path), nullptr);
+      SessionId sid = 0;
+      const Submit verdict = server_.adopt(std::move(session), sid);
+      if (verdict != Submit::kAccepted) {
+        write(error_line(id, "restore rejected", reject_reason(verdict)));
+        return true;
+      }
+      write(session_line(id, sid));
+      return true;
+    }
+
+    // Everything below addresses an existing session.
+    const JsonValue* sidv = req.find("session");
+    if (sidv == nullptr || !sidv->is_number()) {
+      write(error_line(id, "missing session"));
+      return true;
+    }
+    const auto sid = static_cast<SessionId>(sidv->number);
+
+    if (op == "close") {
+      const Submit verdict = server_.close(sid);
+      if (verdict != Submit::kAccepted) {
+        write(error_line(id, "close rejected", reject_reason(verdict)));
+        return true;
+      }
+      write(ok_line(id));
+      return true;
+    }
+
+    std::function<void(Session&)> task;
+    if (op == "admit") {
+      const JsonValue* jobv = req.find("job");
+      if (jobv == nullptr) {
+        write(error_line(id, "admit requires job"));
+        return true;
+      }
+      Job job = parse_job(*jobv);
+      task = [id, write, job = std::move(job)](Session& s) {
+        s.admit(job);
+        write(ok_line(id));
+      };
+    } else if (op == "advance") {
+      const JsonValue* tov = req.find("to");
+      if (tov == nullptr || !tov->is_number()) {
+        write(error_line(id, "advance requires to (number)"));
+        return true;
+      }
+      const double to = tov->number;
+      task = [id, write, to](Session& s) {
+        s.advance(to);
+        write(ok_line(id));
+      };
+    } else if (op == "query") {
+      task = [id, write](Session& s) { write(query_line(id, s)); };
+    } else if (op == "snapshot") {
+      const std::string path = req.string_or("path", "");
+      if (path.empty()) {
+        write(error_line(id, "snapshot requires path"));
+        return true;
+      }
+      task = [id, write, path](Session& s) {
+        const std::string blob = s.snapshot();
+        auto out = open_output(path, "session snapshot");
+        out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+        finish_output(out, path);
+        write(ok_line(id));
+      };
+    } else if (op == "finish") {
+      task = [id, write](Session& s) {
+        s.finish();
+        write(finish_line(id, s.result()));
+      };
+    } else {
+      write(error_line(id, "unknown op: " + op));
+      return true;
+    }
+
+    // Wrap so an op failure answers the request instead of killing the
+    // strand silently.
+    const Submit verdict = server_.submit(
+        sid, [id, write, task = std::move(task)](Session& s) {
+          try {
+            task(s);
+          } catch (const std::exception& e) {
+            write(error_line(id, e.what()));
+          }
+        });
+    if (verdict != Submit::kAccepted) {
+      write(error_line(id, std::string(op) + " rejected",
+                       reject_reason(verdict)));
+    }
+  } catch (const std::exception& e) {
+    write(error_line(id, e.what()));
+  }
+  return true;
+}
+
+}  // namespace parsched::serve

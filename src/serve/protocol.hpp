@@ -1,0 +1,59 @@
+// parsched — the serve NDJSON protocol.
+//
+// One request per line, one JSON object per request; every response is a
+// single compact JSON line carrying the request's "id" back. Grammar
+// (docs/API.md §serve/ has the full field tables):
+//
+//   {"op":"open","id":1,"policy":"equi","machines":4,"speed":1}
+//     -> {"id":1,"ok":true,"session":7}
+//   {"op":"admit","id":2,"session":7,
+//    "job":{"id":0,"release":0,"size":2.5,"curve":"pow:0.5"}}
+//   {"op":"advance","id":3,"session":7,"to":10.5}
+//   {"op":"query","id":4,"session":7}
+//   {"op":"snapshot","id":5,"session":7,"path":"s.psnp"}
+//   {"op":"restore","id":6,"path":"s.psnp"} -> fresh session id
+//   {"op":"finish","id":7,"session":7}      -> final result + records
+//   {"op":"close","id":8,"session":7}
+//   {"op":"ping","id":9}
+//   {"op":"shutdown","id":10}               -> drains, then stops serving
+//
+// Failures answer {"id":..,"ok":false,"error":"..."}; load rejections
+// (queue full, draining, session cap) additionally carry
+// {"reject":"queue_full"} so clients can distinguish backpressure from
+// caller bugs. Curve specs are "par", "seq", or "pow:<alpha>".
+//
+// Session operations execute asynchronously on the server's strands;
+// their responses are emitted from pool threads via the WriteFn, which
+// must therefore be thread-safe (the transports wrap a mutex around the
+// output). Per session, responses arrive in request order; across
+// sessions they interleave.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "serve/server.hpp"
+
+namespace parsched::serve {
+
+class ProtocolHandler {
+ public:
+  /// Thread-safe sink for one complete response line (no trailing '\n').
+  using WriteFn = std::function<void(const std::string&)>;
+
+  explicit ProtocolHandler(Server::Config cfg) : server_(cfg) {}
+
+  /// Process one request line. Responses (possibly deferred to a pool
+  /// thread) go to `write`, which is retained until the response is
+  /// emitted. Returns false once a "shutdown" request has been served —
+  /// the transport should stop reading and tear down.
+  bool handle_line(std::string_view line, WriteFn write);
+
+  [[nodiscard]] Server& server() { return server_; }
+
+ private:
+  Server server_;
+};
+
+}  // namespace parsched::serve

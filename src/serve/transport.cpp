@@ -1,0 +1,243 @@
+#include "serve/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+
+namespace parsched::serve {
+
+namespace {
+
+void sleep_seconds(double seconds) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec =
+      static_cast<long>((seconds - static_cast<double>(ts.tv_sec)) * 1e9);
+  nanosleep(&ts, nullptr);
+}
+
+/// Write the whole buffer, riding out EINTR and partial writes.
+/// MSG_NOSIGNAL: a vanished client must surface as EPIPE, not SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One accepted connection. Pool threads write responses through
+/// write_line() while the poll loop reads requests, so writes serialize
+/// behind `mu` and survive the connection being closed (they become
+/// no-ops).
+struct Connection {
+  explicit Connection(int sock) : fd(sock) {}
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (closed) return;
+    std::string framed = line;
+    framed.push_back('\n');
+    if (!send_all(fd, framed.data(), framed.size())) closed = true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!closed) {
+      closed = true;
+      ::close(fd);
+    }
+  }
+
+  std::mutex mu;
+  int fd;
+  bool closed = false;
+  std::string inbox;  // partial request line (poll-loop only)
+};
+
+}  // namespace
+
+void serve_stdio(ProtocolHandler& handler) {
+  auto out_mu = std::make_shared<std::mutex>();
+  const ProtocolHandler::WriteFn write = [out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(*out_mu);
+    std::cout << line << '\n' << std::flush;
+  };
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!handler.handle_line(line, write)) return;
+  }
+  // EOF: flush every queued response before returning.
+  handler.server().drain();
+}
+
+void serve_unix_socket(ProtocolHandler& handler, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(listener);
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listener);
+    throw std::runtime_error("cannot listen on " + path + ": " + why);
+  }
+
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  bool running = true;
+  while (running) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listener, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) {
+      fds.push_back(pollfd{fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) conns.emplace(fd, std::make_shared<Connection>(fd));
+    }
+    std::vector<int> dead;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const auto it = conns.find(fds[i].fd);
+      if (it == conns.end()) continue;
+      const std::shared_ptr<Connection>& conn = it->second;
+      char buf[4096];
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        dead.push_back(fds[i].fd);
+        continue;
+      }
+      conn->inbox.append(buf, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = conn->inbox.find('\n', start);
+        if (nl == std::string::npos) break;
+        const std::string line = conn->inbox.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty()) continue;
+        const std::shared_ptr<Connection> sink = conn;
+        if (!handler.handle_line(line, [sink](const std::string& resp) {
+              sink->write_line(resp);
+            })) {
+          running = false;
+          break;
+        }
+      }
+      conn->inbox.erase(0, start);
+      if (!running) break;
+    }
+    for (const int fd : dead) {
+      const auto it = conns.find(fd);
+      if (it != conns.end()) {
+        it->second->close();
+        conns.erase(it);
+      }
+    }
+  }
+
+  // Shutdown already drained the server (every response is out); now the
+  // endpoints can go.
+  for (auto& [fd, conn] : conns) conn->close();
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+Client::Client(const std::string& path, double timeout_seconds) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const double deadline = obs::monotonic_seconds() + timeout_seconds;
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error("socket() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      fd_ = fd;
+      return;
+    }
+    ::close(fd);
+    if (obs::monotonic_seconds() >= deadline) {
+      throw std::runtime_error("cannot connect to " + path + " within " +
+                               std::to_string(timeout_seconds) + "s");
+    }
+    sleep_seconds(0.02);  // the server may still be binding
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  if (!send_all(fd_, framed.data(), framed.size())) {
+    throw std::runtime_error("server connection lost (send)");
+  }
+}
+
+std::string Client::read_line() {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error("server connection lost (recv)");
+    }
+    buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& line) {
+  send_line(line);
+  return read_line();
+}
+
+}  // namespace parsched::serve

@@ -1,0 +1,60 @@
+// parsched — NDJSON transports for the serve protocol.
+//
+// Two server transports share one ProtocolHandler:
+//
+//   serve_stdio()        lines on stdin, responses on stdout. One client,
+//                        trivially debuggable (`echo '{"op":"ping"}' |
+//                        parsched serve --stdio`).
+//   serve_unix_socket()  a poll(2) loop on a Unix-domain listener; many
+//                        concurrent clients, one line buffer each.
+//
+// Both return once a client's "shutdown" request has been served (or on
+// EOF / listener error), after draining the server so every queued
+// response is flushed. Responses are produced on pool threads; each
+// connection serializes its writes behind a mutex, so concurrent
+// sessions interleave whole lines, never bytes.
+//
+// Client is the matching blocking NDJSON client (used by parsched
+// loadgen and the protocol round-trip tests): connect with retry —
+// the server may still be binding — then strict request/response.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace parsched::serve {
+
+/// Serve NDJSON over stdin/stdout until shutdown or EOF.
+void serve_stdio(ProtocolHandler& handler);
+
+/// Serve NDJSON over a Unix-domain socket at `path` (unlinked and
+/// re-created). Throws std::runtime_error when the listener cannot be
+/// set up; returns after a shutdown request.
+void serve_unix_socket(ProtocolHandler& handler, const std::string& path);
+
+/// Blocking NDJSON client over a Unix-domain socket. Not thread-safe:
+/// one client per thread (loadgen opens one per session).
+class Client {
+ public:
+  /// Connect, retrying (the server may still be starting) until
+  /// `timeout_seconds` elapses; throws std::runtime_error on timeout.
+  explicit Client(const std::string& path, double timeout_seconds = 10.0);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line, block for the next response line. Strict
+  /// request/response: never issue a second request before the first
+  /// response arrived (responses carry no framing besides order).
+  std::string request(const std::string& line);
+
+ private:
+  void send_line(const std::string& line);
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace parsched::serve

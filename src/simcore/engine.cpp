@@ -57,7 +57,82 @@ std::size_t Engine::alive_tagged(JobTag::Class cls, int phase) const {
   return n;
 }
 
-void Engine::admit_pending(ArrivalSource& source, SimResult& result) {
+void Engine::begin_run(Scheduler& sched) {
+  sched_ = &sched;
+  sched.reset();
+  alive_.clear();
+  completed_.clear();
+  pending_.clear();
+  now_ = 0.0;
+  frontier_ = 0.0;
+  arrival_seq_ = 0;
+  streaming_ = false;
+  has_cached_alloc_ = false;
+  cached_alloc_ = Allocation{};
+  result_ = SimResult{};
+  stats_ = nullptr;
+  // Profiling is opt-in: with collect_stats off (the default) `stats_` is
+  // null, every instrumentation site is one predictable branch, and no
+  // clock is ever read — the hot path stays uninstrumented.
+  if (cfg_.collect_stats) {
+    result_.stats.emplace();
+    stats_ = &*result_.stats;
+  }
+  run_start_ = cfg_.collect_stats ? obs::monotonic_seconds() : 0.0;
+}
+
+void Engine::finalize_run() {
+  if (stats_ != nullptr) {
+    stats_->wall_seconds = obs::monotonic_seconds() - run_start_;
+    stats_->completions = result_.records.size();
+    stats_->arrivals = result_.events - stats_->completions;
+    stats_->decisions = result_.decisions;
+  }
+  if (cfg_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *cfg_.metrics;
+    reg.counter("engine.runs").inc();
+    reg.counter("engine.decisions").inc(result_.decisions);
+    reg.counter("engine.completions").inc(result_.records.size());
+    reg.counter("engine.arrivals")
+        .inc(result_.events - result_.records.size());
+    if (stats_ != nullptr) {
+      reg.timer("engine.run").add(stats_->wall_seconds);
+      reg.timer("engine.decide").add(stats_->decide_seconds);
+      reg.timer("engine.solver").add(stats_->solver_seconds);
+      reg.timer("engine.observer").add(stats_->observer_seconds);
+    }
+  }
+}
+
+SimResult Engine::take_result() {
+  SimResult out = std::move(result_);
+  result_ = SimResult{};
+  stats_ = nullptr;
+  sched_ = nullptr;
+  return out;
+}
+
+void Engine::admit_job_now(Job j) {
+  j.normalize_phases();
+  if (j.size <= 0.0) throw std::invalid_argument("nonpositive job size");
+  AliveJob a;
+  a.id = j.id;
+  a.release = j.release;
+  a.size = j.size;
+  a.remaining = j.size;
+  a.weight = j.weight;
+  a.curve = j.curve;
+  a.arrival_seq = arrival_seq_++;
+  a.tag = j.tag;
+  a.phases = j.phases;
+  a.phase = 0;
+  a.phase_remaining = j.phases.empty() ? j.size : j.phases[0].work;
+  alive_.push_back(std::move(a));
+  ++result_.events;
+  for (Observer* obs : observers_) obs->on_arrival(now_, j);
+}
+
+void Engine::admit_pending(ArrivalSource& source) {
   for (;;) {
     const double nt = source.next_time(*this);
     if (!(nt <= now_ + cfg_.time_tol)) break;
@@ -69,79 +144,177 @@ void Engine::admit_pending(ArrivalSource& source, SimResult& result) {
                      "decision point");
       continue;
     }
-    for (Job& j : jobs) {
-      j.normalize_phases();
-      if (j.size <= 0.0) throw std::invalid_argument("nonpositive job size");
-      AliveJob a;
-      a.id = j.id;
-      a.release = j.release;
-      a.size = j.size;
-      a.remaining = j.size;
-      a.weight = j.weight;
-      a.curve = j.curve;
-      a.arrival_seq = arrival_seq_++;
-      a.tag = j.tag;
-      a.phases = j.phases;
-      a.phase = 0;
-      a.phase_remaining = j.phases.empty() ? j.size : j.phases[0].work;
-      alive_.push_back(std::move(a));
-      ++result.events;
-      for (Observer* obs : observers_) obs->on_arrival(now_, j);
-    }
+    for (Job& j : jobs) admit_job_now(std::move(j));
   }
 }
 
-SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
-  SimResult result;
-  sched.reset();
-  source.reset();
-  alive_.clear();
-  completed_.clear();
-  now_ = 0.0;
-  arrival_seq_ = 0;
+void Engine::release_due() {
+  // The streaming twin of admit_pending(): pending_ is kept sorted by
+  // release (stable among equals), so admission order — and therefore
+  // arrival_seq — matches what a VectorSource over the same jobs yields.
+  while (!pending_.empty() &&
+         pending_.front().release <= now_ + cfg_.time_tol) {
+    Job j = std::move(pending_.front());
+    pending_.pop_front();
+    admit_job_now(std::move(j));
+  }
+}
 
-  // Profiling is opt-in: with collect_stats off (the default) `stats` is
-  // empty, every instrumentation site is one predictable branch, and no
-  // clock is ever read — the hot path stays uninstrumented.
-  const bool collect = cfg_.collect_stats;
-  if (collect) result.stats.emplace();
-  obs::RunStats* stats = collect ? &*result.stats : nullptr;
-  const double run_start = collect ? obs::monotonic_seconds() : 0.0;
-  const auto finish = [&] {
-    if (stats != nullptr) {
-      stats->wall_seconds = obs::monotonic_seconds() - run_start;
-      stats->completions = result.records.size();
-      stats->arrivals = result.events - stats->completions;
-      stats->decisions = result.decisions;
+Engine::Step Engine::decision_step(double t_arrive, double horizon,
+                                   double& t_section) {
+  // One decision interval of the simulation, shared verbatim between the
+  // batch loop (horizon = kInf, never defers) and the streaming loop. The
+  // allocation is computed at most once per decision point: a step
+  // deferred past the horizon caches it — the context the policy saw
+  // (now_, machines, alive_) cannot change while deferred, because
+  // admissions land in pending_ and time only moves inside this function.
+  if (!has_cached_alloc_) {
+    if (++result_.decisions > cfg_.max_decisions) {
+      throw std::runtime_error("engine exceeded max_decisions guard");
     }
-    if (cfg_.metrics != nullptr) {
-      obs::MetricsRegistry& reg = *cfg_.metrics;
-      reg.counter("engine.runs").inc();
-      reg.counter("engine.decisions").inc(result.decisions);
-      reg.counter("engine.completions").inc(result.records.size());
-      reg.counter("engine.arrivals")
-          .inc(result.events - result.records.size());
-      if (stats != nullptr) {
-        reg.timer("engine.run").add(stats->wall_seconds);
-        reg.timer("engine.decide").add(stats->decide_seconds);
-        reg.timer("engine.solver").add(stats->solver_seconds);
-        reg.timer("engine.observer").add(stats->observer_seconds);
+    SchedulerContext ctx(now_, m_, alive_);
+    const double t_decide0 = stats_ != nullptr ? obs::monotonic_seconds()
+                                               : 0.0;
+    cached_alloc_ = sched_->allocate(ctx);
+    if (stats_ != nullptr) {
+      t_section = obs::monotonic_seconds();
+      stats_->decide_seconds += t_section - t_decide0;
+      stats_->alive_count.add(static_cast<double>(alive_.size()));
+    }
+    if (cached_alloc_.shares.size() != alive_.size()) {
+      throw std::logic_error("allocation size mismatch from policy " +
+                             sched_->name());
+    }
+    if (cfg_.validate_allocations) {
+      double sum = 0.0;
+      for (double s : cached_alloc_.shares) {
+        if (!(s >= 0.0)) {
+          throw std::logic_error("negative share from policy " +
+                                 sched_->name());
+        }
+        sum += s;
+      }
+      if (sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
+        throw std::logic_error("overcommitted shares from policy " +
+                               sched_->name());
       }
     }
-  };
+    if (stats_ != nullptr) {
+      const double t = obs::monotonic_seconds();
+      stats_->solver_seconds += t - t_section;  // allocation validation
+      t_section = t;
+    }
+    for (Observer* obs : observers_) {
+      obs->on_decision(now_, alive_, cached_alloc_.shares);
+    }
+    if (stats_ != nullptr) {
+      const double t = obs::monotonic_seconds();
+      stats_->observer_seconds += t - t_section;
+      t_section = t;
+    }
+    has_cached_alloc_ = true;
+  } else if (stats_ != nullptr) {
+    t_section = obs::monotonic_seconds();
+  }
+  const Allocation& alloc = cached_alloc_;
+
+  // Rates are constant until the next event.
+  double dt_complete = kInf;
+  std::vector<double> rates(alive_.size());
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    rates[i] = cfg_.speed * alive_[i].curve.rate(alloc.shares[i]);
+    if (rates[i] > 0.0) {
+      // The end of the current *phase* is the next per-job event (for a
+      // single-phase job that is its completion).
+      dt_complete =
+          std::min(dt_complete, alive_[i].phase_remaining / rates[i]);
+    }
+  }
+  if (alloc.reconsider_at != kInf && alloc.reconsider_at <= now_) {
+    throw std::logic_error("policy " + sched_->name() +
+                           " requested reconsideration in the past");
+  }
+  double dt = dt_complete;
+  dt = std::min(dt, t_arrive - now_);
+  dt = std::min(dt, alloc.reconsider_at - now_);
+  if (dt == kInf) {
+    if (horizon == kInf) throw SimulationStall(now_);
+    return Step::kDeferred;
+  }
+  dt = std::max(dt, 0.0);
+  if (now_ + dt > horizon) return Step::kDeferred;
+  has_cached_alloc_ = false;
+  if (stats_ != nullptr) stats_->decision_interval.add(dt);
+
+  // Advance remaining work and the fractional-flow integral.
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    const double before = alive_[i].remaining;
+    const double after =
+        std::max(0.0, before - rates[i] * dt);
+    result_.fractional_flow +=
+        0.5 * (before + after) / alive_[i].size * dt;
+    alive_[i].remaining = after;
+    alive_[i].phase_remaining =
+        std::max(0.0, alive_[i].phase_remaining - rates[i] * dt);
+  }
+  now_ += dt;
+
+  // Multi-phase jobs whose current phase drained move to the next phase
+  // (and expose its speedup curve to the policy from now on).
+  for (AliveJob& a : alive_) {
+    while (!a.phases.empty() && a.phase + 1 < a.phases.size() &&
+           a.phase_remaining <=
+               cfg_.completion_tol * std::max(1.0, a.size)) {
+      ++a.phase;
+      a.phase_remaining = a.phases[a.phase].work;
+      a.curve = a.phases[a.phase].curve;
+    }
+  }
+
+  // Handle completions (anything within tolerance of zero).
+  for (std::size_t i = 0; i < alive_.size();) {
+    AliveJob& a = alive_[i];
+    if (a.remaining <= cfg_.completion_tol * std::max(1.0, a.size)) {
+      JobRecord rec;
+      rec.job.id = a.id;
+      rec.job.release = a.release;
+      rec.job.size = a.size;
+      rec.job.weight = a.weight;
+      rec.job.curve = a.phases.empty() ? a.curve : a.phases.front().curve;
+      rec.job.tag = a.tag;
+      rec.job.phases = std::move(a.phases);
+      rec.completion = now_;
+      result_.total_flow += rec.flow();
+      result_.weighted_flow += a.weight * rec.flow();
+      result_.makespan = std::max(result_.makespan, now_);
+      completed_.insert(a.id);
+      ++result_.events;
+      for (Observer* obs : observers_) obs->on_completion(now_, rec.job);
+      result_.records.push_back(std::move(rec));
+      alive_[i] = alive_.back();
+      alive_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return Step::kAdvanced;
+}
+
+SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
+  begin_run(sched);
+  source.reset();
 
   // Start the clock at the first arrival.
   {
     const double first = source.next_time(*this);
     if (first == kInf) {
-      finish();
-      return result;
+      finalize_run();
+      return take_result();
     }
     now_ = std::max(0.0, first);
   }
-  admit_pending(source, result);
+  admit_pending(source);
 
-  std::uint64_t decisions = 0;
   for (;;) {
     if (alive_.empty()) {
       const double nt = source.next_time(*this);
@@ -149,140 +322,133 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
       PARSCHED_CHECK(nt >= now_ - cfg_.time_tol,
                      "arrival source moved backwards in time");
       now_ = std::max(now_, nt);
-      admit_pending(source, result);
+      admit_pending(source);
       continue;
     }
 
-    if (++decisions > cfg_.max_decisions) {
-      throw std::runtime_error("engine exceeded max_decisions guard");
-    }
-
-    SchedulerContext ctx(now_, m_, alive_);
-    const double t_decide0 = collect ? obs::monotonic_seconds() : 0.0;
-    Allocation alloc = sched.allocate(ctx);
-    double t_section = 0.0;  // start of the span being attributed next
-    if (stats != nullptr) {
-      t_section = obs::monotonic_seconds();
-      stats->decide_seconds += t_section - t_decide0;
-      stats->alive_count.add(static_cast<double>(alive_.size()));
-    }
-    if (alloc.shares.size() != alive_.size()) {
-      throw std::logic_error("allocation size mismatch from policy " +
-                             sched.name());
-    }
-    if (cfg_.validate_allocations) {
-      double sum = 0.0;
-      for (double s : alloc.shares) {
-        if (!(s >= 0.0)) {
-          throw std::logic_error("negative share from policy " + sched.name());
-        }
-        sum += s;
-      }
-      if (sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
-        throw std::logic_error("overcommitted shares from policy " +
-                               sched.name());
-      }
-    }
-    if (stats != nullptr) {
-      const double t = obs::monotonic_seconds();
-      stats->solver_seconds += t - t_section;  // allocation validation
-      t_section = t;
-    }
-    for (Observer* obs : observers_) {
-      obs->on_decision(now_, alive_, alloc.shares);
-    }
-    if (stats != nullptr) {
-      const double t = obs::monotonic_seconds();
-      stats->observer_seconds += t - t_section;
-      t_section = t;
-    }
-
-    // Rates are constant until the next event.
-    double dt_complete = kInf;
-    std::vector<double> rates(alive_.size());
-    for (std::size_t i = 0; i < alive_.size(); ++i) {
-      rates[i] = cfg_.speed * alive_[i].curve.rate(alloc.shares[i]);
-      if (rates[i] > 0.0) {
-        // The end of the current *phase* is the next per-job event (for a
-        // single-phase job that is its completion).
-        dt_complete =
-            std::min(dt_complete, alive_[i].phase_remaining / rates[i]);
-      }
-    }
+    // The engine state the source sees here is exactly the state at the
+    // top of the iteration (allocate() does not touch it), so querying
+    // the next arrival before the decision step keeps adaptive sources'
+    // answers unchanged.
     const double t_arrive = source.next_time(*this);
-    if (alloc.reconsider_at != kInf && alloc.reconsider_at <= now_) {
-      throw std::logic_error("policy " + sched.name() +
-                             " requested reconsideration in the past");
-    }
-    double dt = dt_complete;
-    dt = std::min(dt, t_arrive - now_);
-    dt = std::min(dt, alloc.reconsider_at - now_);
-    if (dt == kInf) throw SimulationStall(now_);
-    dt = std::max(dt, 0.0);
-    if (stats != nullptr) stats->decision_interval.add(dt);
-
-    // Advance remaining work and the fractional-flow integral.
-    for (std::size_t i = 0; i < alive_.size(); ++i) {
-      const double before = alive_[i].remaining;
-      const double after =
-          std::max(0.0, before - rates[i] * dt);
-      result.fractional_flow +=
-          0.5 * (before + after) / alive_[i].size * dt;
-      alive_[i].remaining = after;
-      alive_[i].phase_remaining =
-          std::max(0.0, alive_[i].phase_remaining - rates[i] * dt);
-    }
-    now_ += dt;
-
-    // Multi-phase jobs whose current phase drained move to the next phase
-    // (and expose its speedup curve to the policy from now on).
-    for (AliveJob& a : alive_) {
-      while (!a.phases.empty() && a.phase + 1 < a.phases.size() &&
-             a.phase_remaining <=
-                 cfg_.completion_tol * std::max(1.0, a.size)) {
-        ++a.phase;
-        a.phase_remaining = a.phases[a.phase].work;
-        a.curve = a.phases[a.phase].curve;
-      }
-    }
-
-    // Handle completions (anything within tolerance of zero).
-    for (std::size_t i = 0; i < alive_.size();) {
-      AliveJob& a = alive_[i];
-      if (a.remaining <= cfg_.completion_tol * std::max(1.0, a.size)) {
-        JobRecord rec;
-        rec.job.id = a.id;
-        rec.job.release = a.release;
-        rec.job.size = a.size;
-        rec.job.weight = a.weight;
-        rec.job.curve = a.phases.empty() ? a.curve : a.phases.front().curve;
-        rec.job.tag = a.tag;
-        rec.job.phases = std::move(a.phases);
-        rec.completion = now_;
-        result.total_flow += rec.flow();
-        result.weighted_flow += a.weight * rec.flow();
-        result.makespan = std::max(result.makespan, now_);
-        completed_.insert(a.id);
-        ++result.events;
-        for (Observer* obs : observers_) obs->on_completion(now_, rec.job);
-        result.records.push_back(std::move(rec));
-        alive_[i] = alive_.back();
-        alive_.pop_back();
-      } else {
-        ++i;
-      }
-    }
-
-    admit_pending(source, result);
-    if (stats != nullptr) {
-      stats->solver_seconds += obs::monotonic_seconds() - t_section;
+    double t_section = 0.0;
+    decision_step(t_arrive, kInf, t_section);  // horizon kInf: never defers
+    admit_pending(source);
+    if (stats_ != nullptr) {
+      stats_->solver_seconds += obs::monotonic_seconds() - t_section;
     }
   }
 
-  result.decisions = decisions;
   for (Observer* obs : observers_) obs->on_done(now_);
-  finish();
-  return result;
+  finalize_run();
+  return take_result();
+}
+
+// ---- Streaming API --------------------------------------------------------
+
+void Engine::begin(Scheduler& sched) {
+  begin_run(sched);
+  streaming_ = true;
+}
+
+void Engine::admit(Job job) {
+  PARSCHED_CHECK(streaming_, "Engine::admit() outside a streaming run");
+  if (job.release < frontier_) {
+    std::ostringstream os;
+    os << "admission in the past: release " << job.release
+       << " < frontier " << frontier_;
+    throw std::invalid_argument(os.str());
+  }
+  if (job.size <= 0.0) throw std::invalid_argument("nonpositive job size");
+  const auto it = std::upper_bound(
+      pending_.begin(), pending_.end(), job.release,
+      [](double r, const Job& j) { return r < j.release; });
+  pending_.insert(it, std::move(job));
+}
+
+void Engine::advance_to(double t) {
+  PARSCHED_CHECK(streaming_, "Engine::advance_to() outside a streaming run");
+  frontier_ = std::max(frontier_, t);
+  drain_to(frontier_);
+}
+
+void Engine::drain_to(double horizon) {
+  for (;;) {
+    if (alive_.empty()) {
+      if (pending_.empty()) return;
+      const double nt = pending_.front().release;
+      if (nt > horizon) return;
+      // Identical arithmetic to the batch idle jump (and to the batch
+      // clock start, where now_ is still 0).
+      now_ = std::max(now_, nt);
+      release_due();
+      continue;
+    }
+    const double t_arrive =
+        pending_.empty() ? kInf : pending_.front().release;
+    double t_section = 0.0;
+    const Step step = decision_step(t_arrive, horizon, t_section);
+    if (step == Step::kDeferred) {
+      if (stats_ != nullptr) {
+        stats_->solver_seconds += obs::monotonic_seconds() - t_section;
+      }
+      return;
+    }
+    release_due();
+    if (stats_ != nullptr) {
+      stats_->solver_seconds += obs::monotonic_seconds() - t_section;
+    }
+  }
+}
+
+SimResult Engine::finish() {
+  PARSCHED_CHECK(streaming_, "Engine::finish() outside a streaming run");
+  frontier_ = kInf;
+  drain_to(kInf);
+  streaming_ = false;
+  for (Observer* obs : observers_) obs->on_done(now_);
+  finalize_run();
+  return take_result();
+}
+
+EngineState Engine::export_state() const {
+  PARSCHED_CHECK(streaming_, "Engine::export_state() outside a streaming run");
+  EngineState s;
+  s.machines = m_;
+  s.config = cfg_;
+  s.now = now_;
+  s.frontier = frontier_;
+  s.arrival_seq = arrival_seq_;
+  s.alive = alive_;
+  s.completed.assign(completed_.begin(), completed_.end());
+  std::sort(s.completed.begin(), s.completed.end());
+  s.pending.assign(pending_.begin(), pending_.end());
+  s.has_cached_alloc = has_cached_alloc_;
+  s.cached_alloc = cached_alloc_;
+  s.result = result_;
+  s.result.stats.reset();  // wall-time profiling is measurement, not state
+  return s;
+}
+
+void Engine::import_state(const EngineState& s, Scheduler& sched) {
+  if (s.machines != m_) {
+    throw std::invalid_argument("snapshot machine count mismatch");
+  }
+  sched_ = &sched;  // no reset(): the caller restored the policy's state
+  streaming_ = true;
+  now_ = s.now;
+  frontier_ = s.frontier;
+  arrival_seq_ = s.arrival_seq;
+  alive_ = s.alive;
+  completed_ =
+      std::unordered_set<JobId>(s.completed.begin(), s.completed.end());
+  pending_.assign(s.pending.begin(), s.pending.end());
+  has_cached_alloc_ = s.has_cached_alloc;
+  cached_alloc_ = s.cached_alloc;
+  result_ = s.result;
+  result_.stats.reset();
+  stats_ = nullptr;  // profiling does not continue across a restore
+  run_start_ = 0.0;
 }
 
 SimResult simulate(const Instance& instance, Scheduler& sched,

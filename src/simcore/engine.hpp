@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 #include <unordered_set>
@@ -61,6 +62,28 @@ class SimulationStall : public std::runtime_error {
   explicit SimulationStall(double t);
 };
 
+/// Full dynamic state of a streaming run, exposed for serve/ session
+/// snapshots. Everything that determines future arithmetic is here:
+/// `alive` is serialized in engine order (the swap-remove order feeds
+/// SchedulerContext and is therefore semantic), `completed` is canonical
+/// (sorted), `pending` keeps admission order among equal releases, and
+/// `cached_alloc` carries a decision that was made but deferred past the
+/// advance frontier. `result.stats` is always absent (wall-time profiling
+/// is measurement, not state).
+struct EngineState {
+  int machines = 1;
+  EngineConfig config;
+  double now = 0.0;
+  double frontier = 0.0;
+  std::int64_t arrival_seq = 0;
+  std::vector<AliveJob> alive;
+  std::vector<JobId> completed;
+  std::vector<Job> pending;
+  bool has_cached_alloc = false;
+  Allocation cached_alloc;
+  SimResult result;
+};
+
 class Engine final : public EngineView {
  public:
   explicit Engine(int machines, EngineConfig config = {});
@@ -70,6 +93,58 @@ class Engine final : public EngineView {
 
   /// Run the policy against the arrival source to completion.
   SimResult run(Scheduler& sched, ArrivalSource& source);
+
+  // ---- Streaming (incremental-arrival) API -------------------------------
+  //
+  // The serve/ layer drives the engine online: jobs are admitted as they
+  // become known and time is advanced in increments. The streaming path
+  // runs the *same* decision-step arithmetic as run() — a session that
+  // admits the jobs of an instance (in release order) and advances
+  // arbitrarily produces a SimResult identical to the batch run, double
+  // for double. The one obligation advance_to(t) imposes is that every
+  // job with release < t has already been admitted; admit() enforces it.
+  //
+  // advance_to() never splits a decision interval: if the next event lies
+  // beyond the frontier the step is deferred and the policy's allocation
+  // is cached, so on resume allocate() is *not* re-invoked (the engine
+  // state it saw is unchanged) and decision counts match the batch run.
+
+  /// Start a streaming run for `sched` (borrowed; must outlive the run).
+  /// Abandons any run in progress.
+  void begin(Scheduler& sched);
+
+  /// Hand the engine a future arrival. Requires an active streaming run
+  /// and job.release >= frontier(); throws std::invalid_argument
+  /// otherwise. Jobs may be admitted arbitrarily far ahead of time.
+  void admit(Job job);
+
+  /// Simulate every event up to and including time t (given the admit()
+  /// contract above). Monotone: t below the current frontier is a no-op.
+  void advance_to(double t);
+
+  /// Declare the arrival stream closed, run to completion, and return the
+  /// final result (identical to the batch run() over the same jobs). Ends
+  /// the streaming run.
+  SimResult finish();
+
+  [[nodiscard]] bool streaming() const { return streaming_; }
+  /// Highest time advance_to() has been asked for (admission low bound).
+  [[nodiscard]] double frontier() const { return frontier_; }
+  /// True when no alive or pending jobs remain.
+  [[nodiscard]] bool drained() const {
+    return alive_.empty() && pending_.empty();
+  }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  /// Results accumulated so far (live view; totals of completed jobs only).
+  [[nodiscard]] const SimResult& partial() const { return result_; }
+
+  /// Snapshot / restore of a streaming run. import_state() requires an
+  /// engine constructed with the snapshot's machine count and config; the
+  /// scheduler must already carry its restored state (Scheduler::
+  /// load_state). Continuation after import is bit-identical to the
+  /// donor run.
+  [[nodiscard]] EngineState export_state() const;
+  void import_state(const EngineState& state, Scheduler& sched);
 
   // EngineView (available to adaptive sources during run()):
   [[nodiscard]] double time() const override { return now_; }
@@ -86,7 +161,19 @@ class Engine final : public EngineView {
   }
 
  private:
-  void admit_pending(ArrivalSource& source, SimResult& result);
+  enum class Step : std::uint8_t {
+    kAdvanced,  ///< one decision interval executed
+    kDeferred,  ///< next event past the horizon; allocation cached
+  };
+
+  void begin_run(Scheduler& sched);
+  void finalize_run();
+  SimResult take_result();
+  void admit_job_now(Job j);
+  void admit_pending(ArrivalSource& source);
+  void release_due();
+  void drain_to(double horizon);
+  Step decision_step(double t_arrive, double horizon, double& t_section);
 
   int m_;
   EngineConfig cfg_;
@@ -96,6 +183,18 @@ class Engine final : public EngineView {
   std::int64_t arrival_seq_ = 0;
   std::vector<AliveJob> alive_;
   std::unordered_set<JobId> completed_;
+
+  // Streaming-run state (also carries batch runs: result_/stats_ are the
+  // accumulator for both paths).
+  Scheduler* sched_ = nullptr;
+  bool streaming_ = false;
+  double frontier_ = 0.0;
+  std::deque<Job> pending_;  // sorted by release, stable among equals
+  bool has_cached_alloc_ = false;
+  Allocation cached_alloc_;
+  SimResult result_;
+  obs::RunStats* stats_ = nullptr;
+  double run_start_ = 0.0;
 };
 
 /// Convenience: simulate a fixed instance with the given policy.

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,19 @@ class Scheduler {
 
   /// Called once before a simulation run; default resets nothing.
   virtual void reset() {}
+
+  /// Serialize the policy's mutable decision state for serve/ session
+  /// snapshots. Stateless policies (everything except quantized-equi)
+  /// return "". load_state() must accept exactly what save_state()
+  /// produced and restore bit-identical future decisions; it throws
+  /// std::invalid_argument on a blob it does not recognize.
+  [[nodiscard]] virtual std::string save_state() const { return {}; }
+  virtual void load_state(const std::string& state) {
+    if (!state.empty()) {
+      throw std::invalid_argument("policy " + name() +
+                                  " carries no state to restore");
+    }
+  }
 };
 
 }  // namespace parsched

@@ -1,0 +1,73 @@
+// parsched — checked environment-variable access.
+//
+// Every subsystem used to call std::getenv directly and invent its own
+// parsing: exec/sweep.cpp silently fell back to all hardware threads on
+// PARSCHED_JOBS=abc, obs/report.cpp and bench_common.hpp each had their
+// own flag idiom. This header is now the only sanctioned home for
+// std::getenv (parsched_lint's `raw-getenv` rule fences it here, the
+// same pattern as raw-thread / raw-chrono / raw-ofstream), so env
+// parsing is uniform and malformed values are *diagnosed*, never
+// silently ignored:
+//
+//   if (parsched::env::get_flag("PARSCHED_REPORT")) ...
+//   const long jobs = parsched::env::get_int("PARSCHED_JOBS", 0, 1, 4096);
+//
+// get_int emits a one-line stderr warning naming the variable and the
+// bad value before returning the fallback; unset/empty variables fall
+// back silently (absence is not an error).
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace parsched::env {
+
+/// Raw lookup; nullptr when unset. Prefer the typed helpers below.
+[[nodiscard]] inline const char* raw(const char* name) {
+  return std::getenv(name);
+}
+
+/// True when the variable is set to a non-empty value.
+[[nodiscard]] inline bool has(const char* name) {
+  const char* v = raw(name);
+  return v != nullptr && v[0] != '\0';
+}
+
+/// The variable's value, or `fallback` when unset or empty.
+[[nodiscard]] inline std::string get_string(const char* name,
+                                            const std::string& fallback =
+                                                std::string()) {
+  const char* v = raw(name);
+  return (v != nullptr && v[0] != '\0') ? std::string(v) : fallback;
+}
+
+/// Boolean flag idiom shared by PARSCHED_REPORT / PARSCHED_AUDIT: set,
+/// non-empty, and not starting with '0'.
+[[nodiscard]] inline bool get_flag(const char* name) {
+  const char* v = raw(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Integer in [lo, hi]. Unset/empty returns `fallback` silently; a
+/// malformed or out-of-range value emits one stderr warning naming the
+/// variable and the offending text, then returns `fallback`.
+[[nodiscard]] inline long get_int(const char* name, long fallback, long lo,
+                                  long hi) {
+  const char* v = raw(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || n < lo || n > hi) {
+    std::fprintf(stderr,
+                 "parsched: ignoring %s='%s' (expected an integer in "
+                 "[%ld, %ld])\n",
+                 name, v, lo, hi);
+    return fallback;
+  }
+  return n;
+}
+
+}  // namespace parsched::env

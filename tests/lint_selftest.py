@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Self-test for tools/parsched_lint.py.
+
+Builds a throwaway tree under a temp dir, plants one violation per rule
+(and one exempted use per fenced rule), runs the linter against it, and
+asserts exactly the expected findings fire. Run via ctest:
+
+  lint_selftest.py <path-to-parsched_lint.py>
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def write(root: Path, rel: str, text: str) -> None:
+    p = root / rel
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text, encoding="utf-8")
+
+
+def run_lint(lint: Path, root: Path) -> list[str]:
+    proc = subprocess.run(
+        [sys.executable, str(lint), "--root", str(root)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: lint_selftest.py <parsched_lint.py>", file=sys.stderr)
+        return 2
+    lint = Path(sys.argv[1]).resolve()
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="parsched-lint-") as tmp:
+        root = Path(tmp)
+        # One violation per rule, each in its own file so findings map
+        # 1:1 to rules.
+        write(root, "src/a/getenv_bad.cpp",
+              '#include "util/env.hpp"\n'
+              'const char* v = std::getenv("HOME");\n')
+        write(root, "src/a/assert_bad.cpp", "void f() { assert(1 > 0); }\n")
+        write(root, "src/a/thread_bad.cpp",
+              "#include <thread>\nstd::thread t;\n")
+        write(root, "src/a/ofstream_bad.cpp", 'std::ofstream out("x");\n')
+        write(root, "src/a/chrono_bad.cpp", "#include <chrono>\n")
+        write(root, "src/a/floateq_bad.cpp", "bool b = (x == 1.0);\n")
+        write(root, "src/a/header_bad.hpp", "int x;\n")  # no pragma once
+        write(root, "src/a/include_bad.cpp", '#include "engine.hpp"\n')
+        # Exempted homes: must stay silent.
+        write(root, "src/util/env.hpp",
+              "#pragma once\n"
+              "inline const char* raw(const char* n) {\n"
+              "  return std::getenv(n);\n"
+              "}\n")
+        write(root, "src/exec/thread_pool.cpp", "#include <thread>\n")
+        write(root, "src/util/fsio.hpp",
+              "#pragma once\nstd::ofstream f;\n")
+        write(root, "src/obs/metrics.cpp", "#include <chrono>\n")
+        # Clean file: no findings expected.
+        write(root, "src/a/clean.cpp",
+              '#pragma GCC poison nothing\n'
+              '#include "util/env.hpp"\n'
+              "int add(int a, int b) { return a + b; }\n")
+
+        findings = run_lint(lint, root)
+
+        expected = {
+            "getenv_bad.cpp": "[raw-getenv]",
+            "assert_bad.cpp": "[raw-assert]",
+            "thread_bad.cpp": "[raw-thread]",
+            "ofstream_bad.cpp": "[raw-ofstream]",
+            "chrono_bad.cpp": "[raw-chrono]",
+            "floateq_bad.cpp": "[float-eq]",
+            "header_bad.hpp": "[pragma-once]",
+            "include_bad.cpp": "[include-style]",
+        }
+        for fname, rule in expected.items():
+            hits = [f for f in findings if fname in f and rule in f]
+            if not hits:
+                failures.append(f"expected {rule} finding in {fname}")
+        exempt = ("util/env.hpp", "exec/thread_pool.cpp", "util/fsio.hpp",
+                  "obs/metrics.cpp", "clean.cpp")
+        for fname in exempt:
+            hits = [f for f in findings
+                    if f.split(":", 1)[0].endswith(fname)]
+            if hits:
+                failures.append(f"unexpected finding(s) in {fname}: {hits}")
+        # thread_bad.cpp appears twice (include + spelling); overall count
+        # must not balloon beyond the planted violations.
+        if len(findings) > 12:
+            failures.append(f"too many findings ({len(findings)}): {findings}")
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    print(f"lint_selftest: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

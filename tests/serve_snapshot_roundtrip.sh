@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Cross-process snapshot continuation, over the real NDJSON transport:
+#
+#   process A: open a session, admit a head of jobs, snapshot to a file,
+#              then admit the tail and finish (the donor result);
+#   process B: a FRESH server process restores the snapshot, admits the
+#              same tail, and finishes.
+#
+# The two finish responses must be byte-identical — doubles render as
+# shortest-round-trip decimals, so equal bytes means bit-equal results.
+#
+#   serve_snapshot_roundtrip.sh <path-to-parsched-binary>
+set -eu
+
+BIN=${1:?usage: serve_snapshot_roundtrip.sh <parsched binary>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+SNAP="$WORK/session.psnp"
+
+# Responses of inline ops and strand ops may interleave on stdout, so
+# pick lines by request id, never by position.
+response() {  # response <file> <id>
+  grep -F "\"id\":$2," "$1" || grep -F "\"id\":$2}" "$1"
+}
+
+head_jobs() {
+  cat <<EOF
+{"op":"admit","id":10,"session":1,"job":{"id":0,"release":0,"size":2.5,"curve":"pow:0.5"}}
+{"op":"admit","id":11,"session":1,"job":{"id":1,"release":0.4,"size":1.25,"curve":"seq"}}
+{"op":"admit","id":12,"session":1,"job":{"id":2,"release":0.9,"size":3,"curve":"pow:0.75"}}
+{"op":"advance","id":13,"session":1,"to":1.1}
+EOF
+}
+
+tail_jobs() {
+  cat <<EOF
+{"op":"admit","id":30,"session":1,"job":{"id":3,"release":1.3,"size":1.5,"curve":"pow:0.3"}}
+{"op":"admit","id":31,"session":1,"job":{"id":4,"release":1.7,"size":2,"curve":"par"}}
+{"op":"advance","id":32,"session":1,"to":2}
+{"op":"finish","id":40,"session":1}
+{"op":"shutdown","id":50}
+EOF
+}
+
+# Process A: head, snapshot, tail — the donor run.
+{
+  echo '{"op":"open","id":1,"policy":"quantized-equi:0.25","machines":3}'
+  head_jobs
+  echo "{\"op\":\"snapshot\",\"id\":20,\"session\":1,\"path\":\"$SNAP\"}"
+  tail_jobs
+} | "$BIN" serve --stdio > "$WORK/donor.out"
+
+for id in 1 10 11 12 13 20 40 50; do
+  if ! response "$WORK/donor.out" "$id" | grep -q '"ok":true'; then
+    echo "FAIL: donor request $id did not succeed:" >&2
+    cat "$WORK/donor.out" >&2
+    exit 1
+  fi
+done
+[ -s "$SNAP" ] || { echo "FAIL: snapshot file is empty" >&2; exit 1; }
+
+# Process B: a fresh process restores the blob and replays the tail.
+# The restored session gets id 1 again (fresh server, ids start at 1).
+{
+  echo "{\"op\":\"restore\",\"id\":2,\"path\":\"$SNAP\"}"
+  tail_jobs
+} | "$BIN" serve --stdio > "$WORK/clone.out"
+
+for id in 2 30 31 32 40 50; do
+  if ! response "$WORK/clone.out" "$id" | grep -q '"ok":true'; then
+    echo "FAIL: clone request $id did not succeed:" >&2
+    cat "$WORK/clone.out" >&2
+    exit 1
+  fi
+done
+
+response "$WORK/donor.out" 40 > "$WORK/donor.finish"
+response "$WORK/clone.out" 40 > "$WORK/clone.finish"
+if ! diff -u "$WORK/donor.finish" "$WORK/clone.finish"; then
+  echo "FAIL: restored continuation diverged from the donor" >&2
+  exit 1
+fi
+
+# The finish payload must carry real results, not an empty husk.
+grep -q '"jobs":5' "$WORK/donor.finish" || {
+  echo "FAIL: donor finish did not report 5 jobs:" >&2
+  cat "$WORK/donor.finish" >&2
+  exit 1
+}
+
+# Corrupt blob: a fresh process must reject it with ok:false, exit 0.
+printf 'PSNPgarbage' > "$WORK/bad.psnp"
+echo "{\"op\":\"restore\",\"id\":3,\"path\":\"$WORK/bad.psnp\"}
+{\"op\":\"shutdown\",\"id\":4}" | "$BIN" serve --stdio > "$WORK/bad.out"
+response "$WORK/bad.out" 3 | grep -q '"ok":false' || {
+  echo "FAIL: corrupt snapshot was not rejected:" >&2
+  cat "$WORK/bad.out" >&2
+  exit 1
+}
+
+echo "serve_snapshot_roundtrip: OK"

@@ -180,6 +180,85 @@ TEST(SweepRunner, DifferentialSerialVsParallelByteIdentical) {
   EXPECT_GT(serial.decisions, 0.0);
 }
 
+// ------------------------------------------------- sweep: edge cases
+
+TEST(SweepRunner, MapZeroTasksReturnsEmpty) {
+  for (int jobs : {1, 4}) {
+    exec::SweepRunner::Config rc;
+    rc.jobs = jobs;
+    exec::SweepRunner runner(rc);
+    const auto out = runner.map<int>(
+        0, [](const exec::TaskContext&) -> int {
+          ADD_FAILURE() << "task body ran for an empty sweep";
+          return 0;
+        });
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(runner.last_stats().tasks, 0u);
+  }
+}
+
+TEST(SweepRunner, MapOneTaskMatchesInlineSeed) {
+  for (int jobs : {1, 4}) {
+    exec::SweepRunner::Config rc;
+    rc.jobs = jobs;
+    rc.base_seed = 99;
+    exec::SweepRunner runner(rc);
+    const auto out = runner.map<std::uint64_t>(
+        1, [](const exec::TaskContext& ctx) { return ctx.seed; });
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], exec::task_seed(99, 0));
+  }
+}
+
+// Many more tasks than workers: the queue depth forces every worker
+// through repeated steal/drain cycles, and the artifact bytes must
+// still match the one-worker run exactly.
+TEST(SweepRunner, TasksFarExceedingJobsStayByteIdentical) {
+  auto run = [](int jobs) {
+    obs::MetricsRegistry merged;
+    exec::SweepRunner::Config rc;
+    rc.jobs = jobs;
+    rc.base_seed = 7;
+    rc.merge_metrics = &merged;
+    exec::SweepRunner runner(rc);
+    const auto vals = runner.map<double>(
+        257, [](const exec::TaskContext& ctx) {
+          // Cheap but seed-dependent: a collision or reorder shifts it.
+          return static_cast<double>(ctx.seed % 1000003) +
+                 static_cast<double>(ctx.index) * 1e-3;
+        });
+    Table t({"task", "value"}, 6);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      t.add_row({static_cast<std::int64_t>(i), vals[i]});
+    }
+    std::ostringstream os;
+    os << t;
+    return os.str();
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(16));
+}
+
+// wait_idle() must return promptly once the last task finishes — a
+// lost-wakeup regression turns this into a multi-second stall. Bound
+// the wait loosely (CI machines are noisy) but well under a hang.
+TEST(ThreadPool, WaitIdleReturnsPromptlyAfterLastTask) {
+  exec::ThreadPool::Config cfg;
+  cfg.threads = 4;
+  exec::ThreadPool pool(cfg);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    (void)pool.submit(
+        [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  const double t0 = obs::monotonic_seconds();
+  pool.wait_idle();
+  const double waited = obs::monotonic_seconds() - t0;
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_LT(waited, 5.0) << "wait_idle stalled after the pool drained";
+}
+
 TEST(SweepRunner, StatsDescribeTheRun) {
   exec::SweepRunner::Config rc;
   rc.jobs = 2;

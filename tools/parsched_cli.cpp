@@ -37,6 +37,9 @@
 #include "sched/opt/relaxations.hpp"
 #include "sched/registry.hpp"
 #include "sched/weighted.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/io.hpp"
 #include "util/options.hpp"
@@ -64,7 +67,12 @@ int usage() {
       "  bound   --instance=FILE\n"
       "  sweep   [--policies=isrpt,equi] [--P=32,64] [--alpha=0.25,0.5]\n"
       "          [--seeds=3] [--seed=1] [--machines=8] [--n=200]\n"
-      "          [--jobs=N] [--csv=FILE.csv]\n";
+      "          [--jobs=N] [--csv=FILE.csv]\n"
+      "  serve   --stdio | --socket=PATH [--threads=N]\n"
+      "          [--max-sessions=64] [--max-queue=128]\n"
+      "  loadgen --socket=PATH [--sessions=8] [--admissions=200]\n"
+      "          [--rate=64] [--advance-every=16] [--policy=equi]\n"
+      "          [--machines=4] [--seed=1] [--shutdown]\n";
   return 2;
 }
 
@@ -348,6 +356,94 @@ int cmd_bound(const Options& opt) {
   return 0;
 }
 
+// The online service: NDJSON requests over stdin/stdout or a Unix
+// socket, sessions multiplexed over the exec pool. Blocks until a
+// client sends {"op":"shutdown"} (or stdin reaches EOF).
+int cmd_serve(const Options& opt) {
+  const bool stdio = opt.get_bool("stdio", false);
+  const std::string socket_path = opt.get("socket", "");
+  if (stdio == !socket_path.empty()) {
+    std::cerr << "serve: exactly one of --stdio or --socket=PATH is "
+                 "required\n";
+    return usage();
+  }
+  serve::Server::Config cfg;
+  cfg.threads = static_cast<int>(opt.get_int("threads", 0));
+  cfg.max_sessions =
+      static_cast<std::size_t>(opt.get_int("max-sessions", 64));
+  cfg.max_queue = static_cast<std::size_t>(opt.get_int("max-queue", 128));
+  cfg.metrics = &obs::MetricsRegistry::global();
+  serve::ProtocolHandler handler(cfg);
+  if (stdio) {
+    serve_stdio(handler);
+  } else {
+    std::cerr << "serve: listening on " << socket_path << "\n";
+    serve_unix_socket(handler, socket_path);
+  }
+  return 0;
+}
+
+// The soak client: N concurrent sessions replaying seeded arrival
+// streams against a running server. Exit is nonzero when any session
+// hit a protocol error — rejections (backpressure) are retried and do
+// not fail the run.
+int cmd_loadgen(const Options& opt) {
+  serve::LoadgenConfig cfg;
+  cfg.socket_path = opt.get("socket", "");
+  if (cfg.socket_path.empty()) {
+    std::cerr << "loadgen: --socket=PATH is required\n";
+    return usage();
+  }
+  cfg.sessions = static_cast<int>(opt.get_int("sessions", 8));
+  cfg.admissions = static_cast<int>(opt.get_int("admissions", 200));
+  cfg.rate = opt.get_double("rate", 64.0);
+  cfg.advance_every = static_cast<int>(opt.get_int("advance-every", 16));
+  cfg.policy = opt.get("policy", "equi");
+  cfg.machines = static_cast<int>(opt.get_int("machines", 4));
+  cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  cfg.shutdown_after = opt.get_bool("shutdown", false);
+  cfg.metrics = &obs::MetricsRegistry::global();
+
+  const serve::LoadgenResult r = serve::run_loadgen(cfg);
+
+  std::cout << "loadgen: " << r.sessions.size() << "/" << cfg.sessions
+            << " sessions finished, " << r.requests << " requests ("
+            << r.rejects << " rejected+retried, " << r.errors
+            << " errors) in " << r.wall_seconds << "s\n"
+            << "  jobs completed " << r.jobs_completed() << "\n"
+            << "  total flow     " << r.total_flow() << "\n";
+
+  if (obs::report_enabled()) {
+    obs::BenchReport report("serve_loadgen");
+    for (const serve::SessionOutcome& s : r.sessions) {
+      obs::RunReport run;
+      run.policy = cfg.policy;
+      run.jobs = s.jobs;
+      run.machines = cfg.machines;
+      run.total_flow = s.total_flow;
+      run.weighted_flow = s.weighted_flow;
+      run.fractional_flow = s.fractional_flow;
+      run.makespan = s.makespan;
+      run.decisions = s.decisions;
+      run.events = s.events;
+      run.wall_seconds = s.wall_seconds;
+      report.add_run(std::move(run));
+    }
+    report.set_meta("sessions", static_cast<double>(cfg.sessions));
+    report.set_meta("admissions", static_cast<double>(cfg.admissions));
+    report.set_meta("rate", cfg.rate);
+    report.set_meta("seed", static_cast<double>(cfg.seed));
+    report.set_meta("requests", static_cast<double>(r.requests));
+    report.set_meta("rejects", static_cast<double>(r.rejects));
+    report.set_meta("errors", static_cast<double>(r.errors));
+    report.set_metrics(obs::MetricsRegistry::global().snapshot());
+    report.write(obs::report_path("serve_loadgen"));
+    std::cout << "loadgen report written to "
+              << obs::report_path("serve_loadgen") << "\n";
+  }
+  return r.errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,9 +457,12 @@ int main(int argc, char** argv) {
     if (command == "compare") return cmd_compare(opt);
     if (command == "bound") return cmd_bound(opt);
     if (command == "sweep") return cmd_sweep(opt);
+    if (command == "serve") return cmd_serve(opt);
+    if (command == "loadgen") return cmd_loadgen(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  std::cerr << "parsched: unknown command '" << command << "'\n";
   return usage();
 }

@@ -45,6 +45,12 @@ Rules (scoped to src/ by default):
                     uniformly. (<future>, mutexes and atomics are fine
                     anywhere — only thread *creation* is fenced.)
 
+  raw-getenv        calling `std::getenv` is banned in src/ outside
+                    util/env.hpp: env access must flow through
+                    parsched::env (get_flag / get_int / get_string) so
+                    parsing is uniform and malformed values are warned
+                    about instead of silently ignored.
+
 Exit status 0 when clean, 1 when any rule fires; findings are printed as
 `file:line: [rule] message` so editors and CI annotate them directly.
 
@@ -69,6 +75,7 @@ KNOWN_PREFIXES = (
     "exec/",
     "obs/",
     "sched/",
+    "serve/",
     "simcore/",
     "speedup/",
     "util/",
@@ -96,6 +103,7 @@ RE_RAW_OFSTREAM = re.compile(r"std\s*::\s*ofstream\b")
 RE_RAW_THREAD = re.compile(
     r"std\s*::\s*(?:jthread|thread|async)\b|#\s*include\s*<thread>"
 )
+RE_RAW_GETENV = re.compile(r"(?<![\w.:])(?:std\s*::\s*)?getenv\s*\(")
 
 
 def strip_code_noise(line: str) -> str:
@@ -116,6 +124,7 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
     is_contract = rel_posix.endswith("check/contract.hpp")
     is_mathx = rel_posix.endswith("util/mathx.hpp")
     is_fsio = rel_posix.endswith("util/fsio.hpp")
+    is_env = rel_posix.endswith("util/env.hpp")
     is_thread_pool = rel_posix.endswith(
         ("exec/thread_pool.hpp", "exec/thread_pool.cpp")
     )
@@ -179,6 +188,13 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
                 "honors --jobs / PARSCHED_JOBS"
             )
 
+        if in_src and not is_env and RE_RAW_GETENV.search(code):
+            findings.append(
+                f"{rel}:{lineno}: [raw-getenv] raw std::getenv outside "
+                "util/env.hpp; use parsched::env::get_flag / get_int / "
+                "get_string so malformed values are diagnosed uniformly"
+            )
+
         if (
             in_src
             and not is_mathx
@@ -191,7 +207,9 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
                 f"annotate with '// {SUPPRESS_FLOAT_EQ}'"
             )
 
-        m = RE_PROJECT_INCLUDE.search(code)
+        # Match against the comment-stripped raw line: strip_code_noise
+        # blanks string literals, which would erase the include path.
+        m = RE_PROJECT_INCLUDE.search(RE_LINE_COMMENT.sub("", line))
         if m and in_src:
             target = m.group(1)
             if not target.startswith(KNOWN_PREFIXES):
