@@ -66,6 +66,45 @@ BENCHMARK(BM_Isrpt)->Arg(1000)->Arg(10000)->Arg(100000)
 BENCHMARK(BM_Equi)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Greedy)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// Dense-alive decision-rate workload: n jobs all released at t = 0, so
+// essentially the whole instance stays alive until the end and every
+// decision step pays the full O(n) cost — the worst case the engine
+// hot-path work (reusable scratch buffers, memoized context orderings,
+// bounded-heap top-k selection, the FlowQ fast advance arm, and the
+// sparse completion sweep) was aimed at. ISRPT serves min(n, m) jobs per
+// decision, leaving the rest rate-0: exactly the dense mostly-idle
+// regime. Sizes are deterministic (no RNG dependency) and distinct, so
+// SRPT orders have no ties and every completion is a separate event.
+Instance dense_alive_instance(std::size_t n) {
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.release = 0.0;
+    j.size = 1.0 + static_cast<double>((i * 7919u) % 99991u) / 99991.0;
+    j.curve = SpeedupCurve::power_law(0.5);
+    jobs.push_back(j);
+  }
+  return Instance(16, jobs);
+}
+
+void BM_DenseAlive(benchmark::State& state) {
+  const Instance inst = dense_alive_instance(
+      static_cast<std::size_t>(state.range(0)));
+  auto sched = make_scheduler("isrpt");
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    const SimResult r = simulate(inst, *sched);
+    decisions += r.decisions;
+    benchmark::DoNotOptimize(r.total_flow);
+  }
+  state.counters["decisions/s"] = benchmark::Counter(
+      static_cast<double>(decisions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseAlive)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SrptRelaxation(benchmark::State& state) {
   const Instance inst = make_random_instance(perf_config(state.range(0)));
   for (auto _ : state) {
@@ -143,6 +182,55 @@ Table measure_parallel_speedup() {
   return sp;
 }
 
+// Pre-PR-5 dense-alive throughput (decisions/sec), measured on the
+// commit immediately before the engine hot-path overhaul with the same
+// harness as measure_dense_alive() below (RelWithDebInfo, otherwise-idle
+// machine). Recorded so BENCH_e11_engine_perf.json always carries both
+// sides of the before/after comparison; the speedup column is the live
+// measurement against these. Absolute numbers are machine-specific — on
+// slower/busier hardware expect the speedup_vs_baseline column, not the
+// raw rate, to be comparable (the paired-run ratio at n = 10000 was
+// 2.3x–2.6x across load conditions on the reference machine).
+struct DenseBaseline {
+  std::size_t n;
+  double decisions_per_sec;
+};
+constexpr DenseBaseline kDenseBaselines[] = {
+    {100, 447582.0},
+    {1000, 69852.0},
+    {10000, 10440.0},
+};
+
+// Timed dense-alive sweep for the perf report: repeat full simulations
+// until >= 0.5 s of wall time (and >= 2 reps) per size, after one
+// warm-up run, and tabulate live decisions/sec against the recorded
+// pre-overhaul baseline.
+Table measure_dense_alive() {
+  Table da({"n", "reps", "decisions", "wall_seconds", "decisions_per_sec",
+            "baseline_decisions_per_sec", "speedup_vs_baseline"},
+           4);
+  for (const DenseBaseline& base : kDenseBaselines) {
+    const Instance inst = dense_alive_instance(base.n);
+    auto sched = make_scheduler("isrpt");
+    (void)simulate(inst, *sched);  // warm-up
+    std::uint64_t decisions = 0;
+    double wall = 0.0;
+    std::int64_t reps = 0;
+    while (wall < 0.5 || reps < 2) {
+      const double t0 = obs::monotonic_seconds();
+      const SimResult r = simulate(inst, *sched);
+      wall += obs::monotonic_seconds() - t0;
+      decisions += r.decisions;
+      ++reps;
+    }
+    const double dps = static_cast<double>(decisions) / wall;
+    da.add_row({static_cast<std::int64_t>(base.n), reps,
+                static_cast<std::int64_t>(decisions), wall, dps,
+                base.decisions_per_sec, dps / base.decisions_per_sec});
+  }
+  return da;
+}
+
 // One instrumented, timed pass per policy on the 10k-job perf instance
 // plus the parallel-speedup table; written as the machine-readable perf
 // baseline when PARSCHED_REPORT=1.
@@ -153,6 +241,11 @@ void emit_perf_report() {
   for (const char* policy : {"isrpt", "equi", "greedy", "seq-srpt"}) {
     report.add_run(bench::timed_run(policy, inst));
   }
+  const Table da = measure_dense_alive();
+  std::cout << "\n=== E11: dense-alive decision rate (isrpt, m=16, "
+               "batch release) ===\n";
+  da.print(std::cout);
+  report.add_table("dense_alive", da);
   const Table sp = measure_parallel_speedup();
   std::cout << "\n=== E11: parallel sweep speedup (" << kSweepTasks
             << " tasks, hardware_concurrency="

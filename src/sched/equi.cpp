@@ -6,15 +6,13 @@
 
 namespace parsched {
 
-Allocation Equi::allocate(const SchedulerContext& ctx) {
+void Equi::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   const double share =
       static_cast<double>(ctx.machines()) / static_cast<double>(n);
-  for (double& s : alloc.shares) s = share;
-  return alloc;
+  for (double& s : out.shares) s = share;
 }
 
 Laps::Laps(double beta) : beta_(beta) {
@@ -41,32 +39,28 @@ std::string OldestEqui::name() const {
   return os.str();
 }
 
-Allocation OldestEqui::allocate(const SchedulerContext& ctx) {
+void OldestEqui::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   const auto k = static_cast<std::size_t>(
       std::ceil(beta_ * static_cast<double>(n)));
-  auto order = ctx.latest_arrivals(n);  // latest first
+  const auto order = ctx.latest_arrivals(n);  // latest first
   const double share =
       static_cast<double>(ctx.machines()) / static_cast<double>(k);
   // Serve the k OLDEST: the tail of the latest-first order.
-  for (std::size_t i = n - k; i < n; ++i) alloc.shares[order[i]] = share;
-  return alloc;
+  for (std::size_t i = n - k; i < n; ++i) out.shares[order[i]] = share;
 }
 
-Allocation Laps::allocate(const SchedulerContext& ctx) {
+void Laps::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   const auto k = static_cast<std::size_t>(
       std::ceil(beta_ * static_cast<double>(n)));
   const double share =
       static_cast<double>(ctx.machines()) / static_cast<double>(k);
-  for (std::size_t i : ctx.latest_arrivals(k)) alloc.shares[i] = share;
-  return alloc;
+  for (std::size_t i : ctx.latest_arrivals(k)) out.shares[i] = share;
 }
 
 }  // namespace parsched

@@ -16,16 +16,18 @@ namespace parsched {
 
 class Equi final : public Scheduler {
  public:
+  using Scheduler::allocate;
   [[nodiscard]] std::string name() const override { return "EQUI"; }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 };
 
 class Laps final : public Scheduler {
  public:
+  using Scheduler::allocate;
   /// beta in (0, 1]; beta = 1 degenerates to EQUI.
   explicit Laps(double beta);
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 
  private:
   double beta_;
@@ -38,9 +40,10 @@ class Laps final : public Scheduler {
 /// It trades average flow for bounded staleness (bench E14).
 class OldestEqui final : public Scheduler {
  public:
+  using Scheduler::allocate;
   explicit OldestEqui(double beta);
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 
  private:
   double beta_;

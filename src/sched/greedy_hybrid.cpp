@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
-#include <vector>
 
 namespace parsched {
 
@@ -14,52 +12,38 @@ GreedyHybrid::GreedyHybrid(double max_quantum) : max_quantum_(max_quantum) {
   }
 }
 
-namespace {
-
-/// Priority of granting job `idx` its (k+1)-th processor.
-struct Candidate {
-  double priority;   // marginal(k) / remaining
-  double remaining;  // tie-break: prefer shorter jobs
-  std::size_t idx;
-  int k;  // processors already granted
-
-  bool operator<(const Candidate& other) const {
-    // std::priority_queue is a max-heap on operator<.
-    if (priority != other.priority) return priority < other.priority;
-    if (remaining != other.remaining) return remaining > other.remaining;
-    return idx > other.idx;
-  }
-};
-
-}  // namespace
-
-Allocation GreedyHybrid::allocate(const SchedulerContext& ctx) {
+void GreedyHybrid::allocate(const SchedulerContext& ctx, Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const int m = ctx.machines();
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
 
   // Hand out whole processors one at a time to the best marginal ratio.
-  std::vector<int> granted(n, 0);
-  std::priority_queue<Candidate> heap;
+  // The member vector + push_heap/pop_heap pair is the same algorithm
+  // std::priority_queue is specified in terms of, so the grant sequence
+  // (including tie resolution) is unchanged from the priority_queue days.
+  granted_.assign(n, 0);
+  heap_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    heap.push({alive[i].curve.marginal(0.0) / alive[i].remaining,
-               alive[i].remaining, i, 0});
+    heap_.push_back({alive[i].curve.marginal(0.0) / alive[i].remaining,
+                     alive[i].remaining, i, 0});
+    std::push_heap(heap_.begin(), heap_.end());
   }
-  for (int p = 0; p < m && !heap.empty(); ++p) {
-    Candidate top = heap.top();
-    heap.pop();
+  for (int p = 0; p < m && !heap_.empty(); ++p) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const Candidate top = heap_.back();
+    heap_.pop_back();
     if (top.priority <= 0.0) break;  // no further marginal gain anywhere
-    granted[top.idx] += 1;
+    granted_[top.idx] += 1;
     const AliveJob& j = alive[top.idx];
-    heap.push({j.curve.marginal(static_cast<double>(granted[top.idx])) /
-                   j.remaining,
-               j.remaining, top.idx, granted[top.idx]});
+    heap_.push_back({j.curve.marginal(static_cast<double>(granted_[top.idx])) /
+                         j.remaining,
+                     j.remaining, top.idx, granted_[top.idx]});
+    std::push_heap(heap_.begin(), heap_.end());
   }
   for (std::size_t i = 0; i < n; ++i) {
-    alloc.shares[i] = static_cast<double>(granted[i]);
+    out.shares[i] = static_cast<double>(granted_[i]);
   }
 
   // Reconsideration horizon: priorities are c / p_j(t) with p_j(t) linear
@@ -68,30 +52,29 @@ Allocation GreedyHybrid::allocate(const SchedulerContext& ctx) {
   // marginal priority. Find the earliest pairwise crossing.
   const double now = ctx.time();
   double horizon = (max_quantum_ == kInf) ? kInf : now + max_quantum_;
-  std::vector<double> rate(n);
+  rate_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    rate[i] = alive[i].curve.rate(alloc.shares[i]);
+    rate_[i] = alive[i].curve.rate(out.shares[i]);
   }
   for (std::size_t j = 0; j < n; ++j) {
-    if (granted[j] == 0) continue;
+    if (granted_[j] == 0) continue;
     const double a = alive[j].curve.marginal(
-        static_cast<double>(granted[j] - 1));  // last granted marginal
+        static_cast<double>(granted_[j] - 1));  // last granted marginal
     for (std::size_t k = 0; k < n; ++k) {
       if (k == j) continue;
       const double b =
-          alive[k].curve.marginal(static_cast<double>(granted[k]));
+          alive[k].curve.marginal(static_cast<double>(granted_[k]));
       if (b <= 0.0) continue;
       // Crossing of a / (p_j - r_j s) and b / (p_k - r_k s), s = t - now:
       //   a (p_k - r_k s) = b (p_j - r_j s)
       const double num = a * alive[k].remaining - b * alive[j].remaining;
-      const double den = a * rate[k] - b * rate[j];
+      const double den = a * rate_[k] - b * rate_[j];
       if (den <= 0.0) continue;  // never crosses going forward
       const double s = num / den;
       if (s > 1e-12) horizon = std::min(horizon, now + s);
     }
   }
-  alloc.reconsider_at = horizon;
-  return alloc;
+  out.reconsider_at = horizon;
 }
 
 }  // namespace parsched

@@ -22,6 +22,8 @@
 // pairwise crossing has a closed form and the trajectory stays exact.
 #pragma once
 
+#include <vector>
+
 #include "simcore/scheduler.hpp"
 #include "util/mathx.hpp"
 
@@ -29,15 +31,37 @@ namespace parsched {
 
 class GreedyHybrid final : public Scheduler {
  public:
+  using Scheduler::allocate;
   /// `max_quantum`: optional upper bound on the reconsideration interval
   /// (kInf = rely purely on exact crossing detection).
   explicit GreedyHybrid(double max_quantum = kInf);
 
   [[nodiscard]] std::string name() const override { return "Greedy-Hybrid"; }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 
  private:
+  /// Priority of granting job `idx` its (k+1)-th processor.
+  struct Candidate {
+    double priority;   // marginal(k) / remaining
+    double remaining;  // tie-break: prefer shorter jobs
+    std::size_t idx;
+    int k;  // processors already granted
+
+    bool operator<(const Candidate& other) const {
+      // The heap algorithms build a max-heap on operator<.
+      if (priority != other.priority) return priority < other.priority;
+      if (remaining != other.remaining) return remaining > other.remaining;
+      return idx > other.idx;
+    }
+  };
+
   double max_quantum_;
+  // Per-decision scratch (resized each call, capacity reused so the hot
+  // path allocates nothing): the candidate heap, granted whole processors
+  // per job, and current rates for the crossing-time horizon.
+  std::vector<Candidate> heap_;
+  std::vector<int> granted_;
+  std::vector<double> rate_;
 };
 
 }  // namespace parsched

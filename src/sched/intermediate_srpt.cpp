@@ -2,23 +2,22 @@
 
 namespace parsched {
 
-Allocation IntermediateSrpt::allocate(const SchedulerContext& ctx) {
+void IntermediateSrpt::allocate(const SchedulerContext& ctx,
+                                Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   if (n >= m) {
     // Overloaded: Sequential-SRPT — one processor to each of the m jobs
     // with the least remaining work.
-    for (std::size_t i : ctx.smallest_remaining(m)) alloc.shares[i] = 1.0;
+    for (std::size_t i : ctx.smallest_remaining(m)) out.shares[i] = 1.0;
   } else {
     // Underloaded: equipartition (Round Robin / Processor Sharing).
     const double share = static_cast<double>(ctx.machines()) /
                          static_cast<double>(n);
-    for (double& s : alloc.shares) s = share;
+    for (double& s : out.shares) s = share;
   }
-  return alloc;
 }
 
 }  // namespace parsched

@@ -18,10 +18,11 @@ namespace parsched {
 
 class IntermediateSrpt final : public Scheduler {
  public:
+  using Scheduler::allocate;
   [[nodiscard]] std::string name() const override {
     return "Intermediate-SRPT";
   }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 };
 
 }  // namespace parsched

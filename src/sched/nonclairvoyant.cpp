@@ -34,51 +34,48 @@ std::string Setf::name() const {
   return os.str();
 }
 
-Allocation Setf::allocate(const SchedulerContext& ctx) {
+void Setf::allocate(const SchedulerContext& ctx, Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   if (n < m) {
     const double share =
         static_cast<double>(ctx.machines()) / static_cast<double>(n);
-    for (double& s : alloc.shares) s = share;
-    return alloc;
+    for (double& s : out.shares) s = share;
+    return;
   }
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(m),
-                   idx.end(), [&](std::size_t a, std::size_t b) {
+  idx_.resize(n);
+  std::iota(idx_.begin(), idx_.end(), std::size_t{0});
+  std::nth_element(idx_.begin(), idx_.begin() + static_cast<std::ptrdiff_t>(m),
+                   idx_.end(), [&](std::size_t a, std::size_t b) {
                      const double pa = processed(alive[a]);
                      const double pb = processed(alive[b]);
                      if (pa != pb) return pa < pb;
                      return alive[a].arrival_seq < alive[b].arrival_seq;
                    });
-  for (std::size_t k = 0; k < m; ++k) alloc.shares[idx[k]] = 1.0;
+  for (std::size_t k = 0; k < m; ++k) out.shares[idx_[k]] = 1.0;
   // Served jobs stop being the least-processed almost immediately; hold
   // the decision for one quantum (the realizable form of SETF).
-  alloc.reconsider_at = ctx.time() + quantum_;
-  return alloc;
+  out.reconsider_at = ctx.time() + quantum_;
 }
 
-Allocation Mlf::allocate(const SchedulerContext& ctx) {
+void Mlf::allocate(const SchedulerContext& ctx, Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   if (n < m) {
     const double share =
         static_cast<double>(ctx.machines()) / static_cast<double>(n);
-    for (double& s : alloc.shares) s = share;
-    return alloc;
+    for (double& s : out.shares) s = share;
+    return;
   }
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+  idx_.resize(n);
+  std::iota(idx_.begin(), idx_.end(), std::size_t{0});
+  std::sort(idx_.begin(), idx_.end(), [&](std::size_t a, std::size_t b) {
     const int la = mlf_level(alive[a]);
     const int lb = mlf_level(alive[b]);
     if (la != lb) return la < lb;
@@ -86,8 +83,8 @@ Allocation Mlf::allocate(const SchedulerContext& ctx) {
   });
   double horizon = kInf;
   for (std::size_t k = 0; k < m; ++k) {
-    const std::size_t i = idx[k];
-    alloc.shares[i] = 1.0;
+    const std::size_t i = idx_[k];
+    out.shares[i] = 1.0;
     // A served job crosses into the next level when its processed work
     // reaches 2^{level+1} - 1; rate at share 1 is Γ(1) = 1, so the
     // crossing time is exact.
@@ -96,8 +93,7 @@ Allocation Mlf::allocate(const SchedulerContext& ctx) {
     const double dt = threshold - processed(alive[i]);
     if (dt > 1e-12) horizon = std::min(horizon, ctx.time() + dt);
   }
-  alloc.reconsider_at = horizon;
-  return alloc;
+  out.reconsider_at = horizon;
 }
 
 }  // namespace parsched

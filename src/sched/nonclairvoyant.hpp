@@ -22,24 +22,32 @@
 // no remaining-work clairvoyance.
 #pragma once
 
+#include <vector>
+
 #include "simcore/scheduler.hpp"
 
 namespace parsched {
 
 class Setf final : public Scheduler {
  public:
+  using Scheduler::allocate;
   explicit Setf(double quantum = 0.1);
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 
  private:
   double quantum_;
+  std::vector<std::size_t> idx_;  // per-decision selection scratch
 };
 
 class Mlf final : public Scheduler {
  public:
+  using Scheduler::allocate;
   [[nodiscard]] std::string name() const override { return "MLF"; }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
+
+ private:
+  std::vector<std::size_t> idx_;  // per-decision sort scratch
 };
 
 }  // namespace parsched

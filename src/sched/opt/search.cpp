@@ -23,16 +23,16 @@ PriorityListScheduler::PriorityListScheduler(std::vector<JobId> order) {
   }
 }
 
-Allocation PriorityListScheduler::allocate(const SchedulerContext& ctx) {
+void PriorityListScheduler::allocate(const SchedulerContext& ctx,
+                                     Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+  out.reset(n);
+  if (n == 0) return;
+  idx_.resize(n);
+  std::iota(idx_.begin(), idx_.end(), std::size_t{0});
+  std::sort(idx_.begin(), idx_.end(), [&](std::size_t a, std::size_t b) {
     const JobId ia = alive[a].id;
     const JobId ib = alive[b].id;
     const auto ra = ia < rank_.size()
@@ -45,15 +45,14 @@ Allocation PriorityListScheduler::allocate(const SchedulerContext& ctx) {
     return ia < ib;
   });
   if (n >= m) {
-    for (std::size_t k = 0; k < m; ++k) alloc.shares[idx[k]] = 1.0;
+    for (std::size_t k = 0; k < m; ++k) out.shares[idx_[k]] = 1.0;
   } else {
     // One each, leftovers split evenly (keeps the schedule work-
     // conserving without concentrating on a single job).
     const double extra =
         static_cast<double>(m - n) / static_cast<double>(n);
-    for (std::size_t k = 0; k < n; ++k) alloc.shares[idx[k]] = 1.0 + extra;
+    for (std::size_t k = 0; k < n; ++k) out.shares[idx_[k]] = 1.0 + extra;
   }
-  return alloc;
 }
 
 namespace {

@@ -24,14 +24,16 @@ namespace parsched {
 /// order, leftovers split evenly among all alive jobs.
 class PriorityListScheduler final : public Scheduler {
  public:
+  using Scheduler::allocate;
   explicit PriorityListScheduler(std::vector<JobId> order);
   [[nodiscard]] std::string name() const override {
     return "Priority-List";
   }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 
  private:
   std::vector<std::uint32_t> rank_;  // job id -> priority rank
+  std::vector<std::size_t> idx_;     // per-decision sort scratch
 };
 
 struct SearchResult {

@@ -2,13 +2,11 @@
 
 namespace parsched {
 
-Allocation ParallelSrpt::allocate(const SchedulerContext& ctx) {
+void ParallelSrpt::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
-  alloc.shares[ctx.min_remaining()] = static_cast<double>(ctx.machines());
-  return alloc;
+  out.reset(n);
+  if (n == 0) return;
+  out.shares[ctx.min_remaining()] = static_cast<double>(ctx.machines());
 }
 
 }  // namespace parsched

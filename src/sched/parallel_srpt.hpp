@@ -13,8 +13,9 @@ namespace parsched {
 
 class ParallelSrpt final : public Scheduler {
  public:
+  using Scheduler::allocate;
   [[nodiscard]] std::string name() const override { return "Parallel-SRPT"; }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 };
 
 }  // namespace parsched

@@ -4,15 +4,13 @@
 
 namespace parsched {
 
-Allocation SequentialSrpt::allocate(const SchedulerContext& ctx) {
+void SequentialSrpt::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
+  out.reset(n);
   for (std::size_t i : ctx.smallest_remaining(std::min(n, m))) {
-    alloc.shares[i] = 1.0;
+    out.shares[i] = 1.0;
   }
-  return alloc;
 }
 
 }  // namespace parsched

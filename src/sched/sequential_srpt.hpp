@@ -11,8 +11,9 @@ namespace parsched {
 
 class SequentialSrpt final : public Scheduler {
  public:
+  using Scheduler::allocate;
   [[nodiscard]] std::string name() const override { return "Sequential-SRPT"; }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 };
 
 }  // namespace parsched

@@ -17,40 +17,37 @@ std::string IsrptThreshold::name() const {
   return os.str();
 }
 
-Allocation IsrptThreshold::allocate(const SchedulerContext& ctx) {
+void IsrptThreshold::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   if (static_cast<double>(n) >= theta_ * static_cast<double>(m)) {
     // Sequential mode: the m shortest jobs get one machine each.
-    for (std::size_t i : ctx.smallest_remaining(m)) alloc.shares[i] = 1.0;
+    for (std::size_t i : ctx.smallest_remaining(m)) out.shares[i] = 1.0;
   } else {
     // Equipartition over all alive jobs (shares may be < 1 when n > m,
     // which is exactly the behaviour the theta knob is probing).
     const double share =
         static_cast<double>(ctx.machines()) / static_cast<double>(n);
-    for (double& s : alloc.shares) s = share;
+    for (double& s : out.shares) s = share;
   }
-  return alloc;
 }
 
-Allocation IsrptBoostShortest::allocate(const SchedulerContext& ctx) {
+void IsrptBoostShortest::allocate(const SchedulerContext& ctx,
+                                  Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   const auto order = ctx.smallest_remaining(std::min(n, m));
   if (n >= m) {
-    for (std::size_t i : order) alloc.shares[i] = 1.0;
+    for (std::size_t i : order) out.shares[i] = 1.0;
   } else {
     // One processor each; the shortest job hoards all leftovers.
-    for (std::size_t i : order) alloc.shares[i] = 1.0;
-    alloc.shares[order.front()] += static_cast<double>(m - n);
+    for (std::size_t i : order) out.shares[i] = 1.0;
+    out.shares[order.front()] += static_cast<double>(m - n);
   }
-  return alloc;
 }
 
 QuantizedEqui::QuantizedEqui(double quantum) : quantum_(quantum) {
@@ -63,35 +60,34 @@ std::string QuantizedEqui::name() const {
   return os.str();
 }
 
-Allocation QuantizedEqui::allocate(const SchedulerContext& ctx) {
+void QuantizedEqui::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
+  // Stable order by arrival sequence so rotation is deterministic: the
+  // earliest-first position i is the latest-first span read backwards
+  // (latest[n-1-i]) — same sequence the old reversed copy produced,
+  // without mutating (or copying) the shared cached order.
+  const auto latest = ctx.by_latest_arrival();
+  const auto earliest = [&](std::size_t i) { return latest[n - 1 - i]; };
   if (n <= m) {
     // Whole processors, remainder rotated round-robin by arrival sequence.
     const std::size_t base = m / n;
     const std::size_t extra = m % n;
-    // Stable order by arrival sequence so rotation is deterministic.
-    auto order = ctx.by_latest_arrival();
-    std::reverse(order.begin(), order.end());  // earliest first
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t rotated = (i + round_) % n;
-      alloc.shares[order[rotated]] =
+      out.shares[earliest(rotated)] =
           static_cast<double>(base + (i < extra ? 1 : 0));
     }
   } else {
     // More jobs than machines: rotate which m jobs run this quantum.
-    auto order = ctx.by_latest_arrival();
-    std::reverse(order.begin(), order.end());
     for (std::size_t i = 0; i < m; ++i) {
-      alloc.shares[order[(i + round_) % n]] = 1.0;
+      out.shares[earliest((i + round_) % n)] = 1.0;
     }
   }
   ++round_;
-  alloc.reconsider_at = ctx.time() + quantum_;
-  return alloc;
+  out.reconsider_at = ctx.time() + quantum_;
 }
 
 std::string QuantizedEqui::save_state() const {

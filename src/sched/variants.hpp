@@ -23,9 +23,10 @@ class IsrptThreshold final : public Scheduler {
   /// theta >= 1: equipartition over all alive jobs whenever
   /// |A(t)| < theta*m, sequential-SRPT mode otherwise. theta = 1 is
   /// exactly Intermediate-SRPT.
+  using Scheduler::allocate;
   explicit IsrptThreshold(double theta);
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 
  private:
   double theta_;
@@ -33,17 +34,19 @@ class IsrptThreshold final : public Scheduler {
 
 class IsrptBoostShortest final : public Scheduler {
  public:
+  using Scheduler::allocate;
   [[nodiscard]] std::string name() const override {
     return "ISRPT-BoostShortest";
   }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
 };
 
 class QuantizedEqui final : public Scheduler {
  public:
+  using Scheduler::allocate;
   explicit QuantizedEqui(double quantum);
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
   void reset() override { round_ = 0; }
 
   // The only stateful policy: the round-robin cursor must survive serve/

@@ -6,22 +6,21 @@
 
 namespace parsched {
 
-Allocation WeightedIsrpt::allocate(const SchedulerContext& ctx) {
+void WeightedIsrpt::allocate(const SchedulerContext& ctx, Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const auto m = static_cast<std::size_t>(ctx.machines());
-  Allocation alloc;
-  alloc.shares.assign(n, 0.0);
-  if (n == 0) return alloc;
+  out.reset(n);
+  if (n == 0) return;
   if (n < m) {
     const double share =
         static_cast<double>(ctx.machines()) / static_cast<double>(n);
-    for (double& s : alloc.shares) s = share;
-    return alloc;
+    for (double& s : out.shares) s = share;
+    return;
   }
   // Select the m jobs with least remaining/weight (selection, not sort).
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  idx_.resize(n);
+  std::iota(idx_.begin(), idx_.end(), std::size_t{0});
   auto less = [&](std::size_t a, std::size_t b) {
     const double da = alive[a].remaining / alive[a].weight;
     const double db = alive[b].remaining / alive[b].weight;
@@ -31,10 +30,9 @@ Allocation WeightedIsrpt::allocate(const SchedulerContext& ctx) {
     }
     return alive[a].id < alive[b].id;
   };
-  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(m),
-                   idx.end(), less);
-  for (std::size_t k = 0; k < m; ++k) alloc.shares[idx[k]] = 1.0;
-  return alloc;
+  std::nth_element(idx_.begin(), idx_.begin() + static_cast<std::ptrdiff_t>(m),
+                   idx_.end(), less);
+  for (std::size_t k = 0; k < m; ++k) out.shares[idx_[k]] = 1.0;
 }
 
 double weighted_span_lower_bound(const Instance& instance) {

@@ -16,10 +16,14 @@ namespace parsched {
 
 class WeightedIsrpt final : public Scheduler {
  public:
+  using Scheduler::allocate;
   [[nodiscard]] std::string name() const override {
     return "Weighted-ISRPT";
   }
-  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) override;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override;
+
+ private:
+  std::vector<std::size_t> idx_;  // per-decision selection scratch
 };
 
 /// Provable lower bound on the optimal *weighted* flow time: each job

@@ -21,10 +21,19 @@ std::string stall_message(double t) {
   return os.str();
 }
 
+std::string stall_message(double t, const std::string& detail) {
+  std::ostringstream os;
+  os << "simulation stalled at t=" << t << ": " << detail;
+  return os.str();
+}
+
 }  // namespace
 
 SimulationStall::SimulationStall(double t)
     : std::runtime_error(stall_message(t)) {}
+
+SimulationStall::SimulationStall(double t, const std::string& detail)
+    : std::runtime_error(stall_message(t, detail)) {}
 
 Engine::Engine(int machines, EngineConfig config)
     : m_(machines), cfg_(config) {
@@ -70,6 +79,9 @@ void Engine::begin_run(Scheduler& sched) {
   has_cached_alloc_ = false;
   cached_alloc_ = Allocation{};
   result_ = SimResult{};
+  zero_dt_streak_ = 0;
+  flow_q_.clear();
+  rates_valid_ = false;
   stats_ = nullptr;
   // Profiling is opt-in: with collect_stats off (the default) `stats_` is
   // null, every instrumentation site is one predictable branch, and no
@@ -128,6 +140,7 @@ void Engine::admit_job_now(Job j) {
   a.phase = 0;
   a.phase_remaining = j.phases.empty() ? j.size : j.phases[0].work;
   alive_.push_back(std::move(a));
+  flow_q_.push_back(FlowQ{});  // memo slot starts invalid
   ++result_.events;
   for (Observer* obs : observers_) obs->on_arrival(now_, j);
 }
@@ -160,6 +173,47 @@ void Engine::release_due() {
   }
 }
 
+void Engine::compute_rates(bool validate) {
+  // One fused pass over the decision's shares: feasibility validation
+  // (when requested) and the per-job rates that hold until the next
+  // event, plus the earliest phase end under those rates. rates_ is
+  // engine scratch: every entry is overwritten here, so resize (never a
+  // clear-and-fill) is enough and the buffer's capacity survives across
+  // steps. The share == 0 fast path is exact, not approximate: every
+  // speedup curve has Γ(0) = 0 identically (rate() returns x for
+  // x <= 1), so skipping the out-of-line call changes no bit — and in
+  // SRPT-style allocations almost all of a dense alive set holds
+  // share 0.
+  const Allocation& alloc = cached_alloc_;
+  double dt_complete = kInf;
+  double sum = 0.0;
+  rates_.resize(alive_.size());
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    const double s = alloc.shares[i];
+    if (validate && !(s >= 0.0)) {
+      throw std::logic_error("negative share from policy " + sched_->name());
+    }
+    sum += s;
+    // Exactly-zero share means exactly-zero rate (Γ(0) = 0); the skip
+    // must not fire for any nonzero share.
+    const double r =
+        s != 0.0 ? cfg_.speed * alive_[i].curve.rate(s)  // lint: float-eq-ok
+                 : 0.0;
+    rates_[i] = r;
+    if (r > 0.0) {
+      // The end of the current *phase* is the next per-job event (for a
+      // single-phase job that is its completion).
+      dt_complete = std::min(dt_complete, alive_[i].phase_remaining / r);
+    }
+  }
+  if (validate && sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
+    throw std::logic_error("overcommitted shares from policy " +
+                           sched_->name());
+  }
+  dt_complete_ = dt_complete;
+  rates_valid_ = true;
+}
+
 Engine::Step Engine::decision_step(double t_arrive, double horizon,
                                    double& t_section) {
   // One decision interval of the simulation, shared verbatim between the
@@ -172,10 +226,12 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
     if (++result_.decisions > cfg_.max_decisions) {
       throw std::runtime_error("engine exceeded max_decisions guard");
     }
-    SchedulerContext ctx(now_, m_, alive_);
+    ctx_cache_.invalidate();
+    SchedulerContext ctx(now_, m_, alive_,
+                         cfg_.use_context_cache ? &ctx_cache_ : nullptr);
     const double t_decide0 = stats_ != nullptr ? obs::monotonic_seconds()
                                                : 0.0;
-    cached_alloc_ = sched_->allocate(ctx);
+    sched_->allocate(ctx, cached_alloc_);
     if (stats_ != nullptr) {
       t_section = obs::monotonic_seconds();
       stats_->decide_seconds += t_section - t_decide0;
@@ -185,23 +241,10 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
       throw std::logic_error("allocation size mismatch from policy " +
                              sched_->name());
     }
-    if (cfg_.validate_allocations) {
-      double sum = 0.0;
-      for (double s : cached_alloc_.shares) {
-        if (!(s >= 0.0)) {
-          throw std::logic_error("negative share from policy " +
-                                 sched_->name());
-        }
-        sum += s;
-      }
-      if (sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
-        throw std::logic_error("overcommitted shares from policy " +
-                               sched_->name());
-      }
-    }
+    compute_rates(cfg_.validate_allocations);
     if (stats_ != nullptr) {
       const double t = obs::monotonic_seconds();
-      stats_->solver_seconds += t - t_section;  // allocation validation
+      stats_->solver_seconds += t - t_section;  // validation + rates
       t_section = t;
     }
     for (Observer* obs : observers_) {
@@ -213,28 +256,21 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
       t_section = t;
     }
     has_cached_alloc_ = true;
-  } else if (stats_ != nullptr) {
-    t_section = obs::monotonic_seconds();
+  } else {
+    if (stats_ != nullptr) t_section = obs::monotonic_seconds();
+    // Resuming a deferred decision: the context the policy saw is frozen
+    // (that is the deferral contract), so the rates computed at decision
+    // time are still exact. Only a snapshot restore — which does not
+    // serialize scratch — needs them rebuilt, from the same frozen
+    // inputs, hence bit-identically.
+    if (!rates_valid_) compute_rates(false);
   }
   const Allocation& alloc = cached_alloc_;
-
-  // Rates are constant until the next event.
-  double dt_complete = kInf;
-  std::vector<double> rates(alive_.size());
-  for (std::size_t i = 0; i < alive_.size(); ++i) {
-    rates[i] = cfg_.speed * alive_[i].curve.rate(alloc.shares[i]);
-    if (rates[i] > 0.0) {
-      // The end of the current *phase* is the next per-job event (for a
-      // single-phase job that is its completion).
-      dt_complete =
-          std::min(dt_complete, alive_[i].phase_remaining / rates[i]);
-    }
-  }
   if (alloc.reconsider_at != kInf && alloc.reconsider_at <= now_) {
     throw std::logic_error("policy " + sched_->name() +
                            " requested reconsideration in the past");
   }
-  double dt = dt_complete;
+  double dt = dt_complete_;
   dt = std::min(dt, t_arrive - now_);
   dt = std::min(dt, alloc.reconsider_at - now_);
   if (dt == kInf) {
@@ -246,56 +282,156 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
   has_cached_alloc_ = false;
   if (stats_ != nullptr) stats_->decision_interval.add(dt);
 
-  // Advance remaining work and the fractional-flow integral.
+  // Advance remaining work and the fractional-flow integral, move
+  // multi-phase jobs whose current phase drained to the next phase (which
+  // exposes its speedup curve to the policy from now on), and detect
+  // completions. One fused pass: every operation is per-job, so the
+  // fractional_flow accumulation order — index order, which is
+  // FP-semantic — is unchanged from the old separate advance, phase and
+  // completion-scan loops.
+  //
+  // The fast arm below is a bit-exact replay of the full arm for a
+  // settled rate-0 job, not an approximation of it: with r == 0 every
+  // update in the full arm is the identity (see the FlowQ invariants in
+  // engine.hpp — the phase-advance condition and the completion compare
+  // are constant-false on a survivor while its rate stays 0), and the
+  // flow increment 0.5*(r+r)/size*dt reuses the memoized division result
+  // for the job's exact current remaining.
+  bool phase_advanced = false;
+  comp_idx_.clear();
+  const double ctol = cfg_.completion_tol;
   for (std::size_t i = 0; i < alive_.size(); ++i) {
-    const double before = alive_[i].remaining;
-    const double after =
-        std::max(0.0, before - rates[i] * dt);
-    result_.fractional_flow +=
-        0.5 * (before + after) / alive_[i].size * dt;
-    alive_[i].remaining = after;
-    alive_[i].phase_remaining =
-        std::max(0.0, alive_[i].phase_remaining - rates[i] * dt);
-  }
-  now_ += dt;
-
-  // Multi-phase jobs whose current phase drained move to the next phase
-  // (and expose its speedup curve to the policy from now on).
-  for (AliveJob& a : alive_) {
+    const double r = rates_[i];
+    FlowQ& fq = flow_q_[i];
+    if (r == 0.0 && fq.needs_full == 0) {  // lint: float-eq-ok
+      result_.fractional_flow += fq.q * dt;
+      continue;
+    }
+    AliveJob& a = alive_[i];
+    double after;
+    if (r != 0.0) {  // lint: float-eq-ok
+      const double before = a.remaining;
+      after = std::max(0.0, before - r * dt);
+      result_.fractional_flow += 0.5 * (before + after) / a.size * dt;
+      a.remaining = after;
+      a.phase_remaining = std::max(0.0, a.phase_remaining - r * dt);
+    } else {
+      // First visit at rate 0 (admission / restore): same arithmetic as
+      // the r != 0 arm with the r*dt terms — exactly 0.0 here — elided.
+      const double before = a.remaining;
+      after = std::max(0.0, before);
+      result_.fractional_flow += 0.5 * (before + after) / a.size * dt;
+      a.remaining = after;
+      a.phase_remaining = std::max(0.0, a.phase_remaining);
+    }
+    fq.q = 0.5 * (after + after) / a.size;
+    fq.needs_full = 0;
+    const double tol = ctol * std::max(1.0, a.size);
     while (!a.phases.empty() && a.phase + 1 < a.phases.size() &&
-           a.phase_remaining <=
-               cfg_.completion_tol * std::max(1.0, a.size)) {
+           a.phase_remaining <= tol) {
       ++a.phase;
       a.phase_remaining = a.phases[a.phase].work;
       a.curve = a.phases[a.phase].curve;
+      phase_advanced = true;
+    }
+    if (after <= tol) comp_idx_.push_back(i);
+  }
+  now_ += dt;
+
+  // Handle completions (anything within tolerance of zero). The removal
+  // order, the flow-total accumulation order, and the final alive_ order
+  // (which feeds the next decision's SchedulerContext) are all
+  // bit-semantic, so the sparse sweep below replays the original
+  // full-scan swap-remove loop move for move, visiting only the
+  // positions collected above: removing comp_idx_[lo] pulls the current
+  // back element into its slot, and if that element is itself complete —
+  // it is then necessarily comp_idx_[hi-1], the largest pending position
+  // — it is removed in place before the scan conceptually moves on,
+  // exactly as the original loop's stationary `i` did. Observer
+  // callbacks are lifted out of the sweep: they fire after it, in job-id
+  // order, so the notification order for simultaneous completions does
+  // not depend on swap-remove internals.
+  const std::size_t first_new_record = result_.records.size();
+  if (!comp_idx_.empty()) {
+    std::size_t end = alive_.size();
+    std::size_t lo = 0;
+    std::size_t hi = comp_idx_.size();
+    while (lo < hi) {
+      std::size_t i = comp_idx_[lo++];
+      for (;;) {
+        AliveJob& a = alive_[i];
+        JobRecord rec;
+        rec.job.id = a.id;
+        rec.job.release = a.release;
+        rec.job.size = a.size;
+        rec.job.weight = a.weight;
+        rec.job.curve = a.phases.empty() ? a.curve : a.phases.front().curve;
+        rec.job.tag = a.tag;
+        rec.job.phases = std::move(a.phases);
+        rec.completion = now_;
+        result_.total_flow += rec.flow();
+        result_.weighted_flow += a.weight * rec.flow();
+        result_.makespan = std::max(result_.makespan, now_);
+        completed_.insert(a.id);
+        ++result_.events;
+        result_.records.push_back(std::move(rec));
+        --end;
+        if (i == end) break;
+        alive_[i] = std::move(alive_[end]);
+        flow_q_[i] = flow_q_[end];
+        if (hi > lo && comp_idx_[hi - 1] == end) {
+          --hi;  // the element swapped in is itself complete: remove in place
+          continue;
+        }
+        break;
+      }
+    }
+    alive_.resize(end);
+    flow_q_.resize(end);
+  }
+  const std::size_t n_completed = result_.records.size() - first_new_record;
+  if (n_completed > 0 && !observers_.empty()) {
+    completion_order_.resize(n_completed);
+    for (std::size_t i = 0; i < n_completed; ++i) {
+      completion_order_[i] = first_new_record + i;
+    }
+    std::sort(completion_order_.begin(), completion_order_.end(),
+              [this](std::size_t a, std::size_t b) {
+                return result_.records[a].job.id < result_.records[b].job.id;
+              });
+    for (const std::size_t r : completion_order_) {
+      for (Observer* obs : observers_) {
+        obs->on_completion(now_, result_.records[r].job);
+      }
     }
   }
 
-  // Handle completions (anything within tolerance of zero).
-  for (std::size_t i = 0; i < alive_.size();) {
-    AliveJob& a = alive_[i];
-    if (a.remaining <= cfg_.completion_tol * std::max(1.0, a.size)) {
-      JobRecord rec;
-      rec.job.id = a.id;
-      rec.job.release = a.release;
-      rec.job.size = a.size;
-      rec.job.weight = a.weight;
-      rec.job.curve = a.phases.empty() ? a.curve : a.phases.front().curve;
-      rec.job.tag = a.tag;
-      rec.job.phases = std::move(a.phases);
-      rec.completion = now_;
-      result_.total_flow += rec.flow();
-      result_.weighted_flow += a.weight * rec.flow();
-      result_.makespan = std::max(result_.makespan, now_);
-      completed_.insert(a.id);
-      ++result_.events;
-      for (Observer* obs : observers_) obs->on_completion(now_, rec.job);
-      result_.records.push_back(std::move(rec));
-      alive_[i] = alive_.back();
-      alive_.pop_back();
-    } else {
-      ++i;
+  // Zero-dt livelock guard: a step with dt == 0 that advanced no phase
+  // and completed no job left the engine exactly where it was, and with a
+  // stateless policy it will do so forever (e.g. FP drift leaving a
+  // multi-phase job's last phase at exactly 0 while `remaining` sits just
+  // above tolerance). Stateful policies may legitimately need a few
+  // zero-dt decisions to rotate out of the corner, so only a streak
+  // longer than any one policy's state cycle — alive_.size() + 2 covers
+  // every in-tree policy — is declared a stall, with a diagnostic naming
+  // the stuck job instead of silently burning the max_decisions budget.
+  if (dt > 0.0 || phase_advanced || n_completed > 0) {
+    zero_dt_streak_ = 0;
+  } else if (++zero_dt_streak_ > alive_.size() + 2) {
+    std::ostringstream os;
+    os << "zero-length decision intervals are making no progress";
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      if (rates_[i] > 0.0 && alive_[i].phase_remaining <= 0.0) {
+        const AliveJob& a = alive_[i];
+        os << "; stuck job id=" << a.id << " (phase "
+           << (a.phase + 1) << "/"
+           << (a.phases.empty() ? std::size_t{1} : a.phases.size())
+           << " drained, remaining=" << a.remaining
+           << " still above completion tolerance)";
+        break;
+      }
     }
+    throw SimulationStall(now_, os.str());
   }
   return Step::kAdvanced;
 }
@@ -434,6 +570,20 @@ void Engine::import_state(const EngineState& s, Scheduler& sched) {
   if (s.machines != m_) {
     throw std::invalid_argument("snapshot machine count mismatch");
   }
+  // The config fields that enter the decision arithmetic must match the
+  // donor exactly, or the continuation silently diverges bit-by-bit from
+  // the run that produced the snapshot. (use_context_cache and the
+  // profiling/guard knobs are deliberately not checked: they do not
+  // affect the computed trajectory.)
+  if (s.config.speed != cfg_.speed) {
+    throw std::invalid_argument("snapshot engine speed mismatch");
+  }
+  if (s.config.completion_tol != cfg_.completion_tol) {
+    throw std::invalid_argument("snapshot completion_tol mismatch");
+  }
+  if (s.config.time_tol != cfg_.time_tol) {
+    throw std::invalid_argument("snapshot time_tol mismatch");
+  }
   sched_ = &sched;  // no reset(): the caller restored the policy's state
   streaming_ = true;
   now_ = s.now;
@@ -447,6 +597,9 @@ void Engine::import_state(const EngineState& s, Scheduler& sched) {
   cached_alloc_ = s.cached_alloc;
   result_ = s.result;
   result_.stats.reset();
+  zero_dt_streak_ = 0;  // scratch, not state: restart the livelock guard
+  flow_q_.assign(alive_.size(), FlowQ{});  // memos rebuild lazily
+  rates_valid_ = false;  // a deferred decision recomputes its rates once
   stats_ = nullptr;  // profiling does not continue across a restore
   run_start_ = 0.0;
 }

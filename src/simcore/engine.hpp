@@ -43,6 +43,14 @@ struct EngineConfig {
   std::uint64_t max_decisions = 500'000'000;
   /// Check share feasibility at every decision point.
   bool validate_allocations = true;
+  /// Lend the engine-owned ContextCache to the SchedulerContext built at
+  /// each decision point, so the ordering helpers share one sort per
+  /// ordering per decision. Off, every helper call recomputes from
+  /// scratch via refimpl:: — bit-identical by construction and kept as
+  /// the reference arm of the differential tests. Not part of the
+  /// simulation semantics: not serialized in snapshots, not checked by
+  /// import_state().
+  bool use_context_cache = true;
   /// Collect per-run profiling (SimResult::stats): wall time split into
   /// policy-decide / event-solver / observer buckets plus decision-
   /// interval and alive-count histograms. Off by default — the
@@ -55,11 +63,14 @@ struct EngineConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Thrown when alive jobs exist but no progress is possible (all rates zero
-/// and no future arrival or reconsideration point).
+/// Thrown when alive jobs exist but no progress is possible: either all
+/// rates are zero with no future arrival or reconsideration point, or the
+/// engine detects a run of zero-length decision intervals that change no
+/// state (the `detail` form names the stuck job).
 class SimulationStall : public std::runtime_error {
  public:
   explicit SimulationStall(double t);
+  SimulationStall(double t, const std::string& detail);
 };
 
 /// Full dynamic state of a streaming run, exposed for serve/ session
@@ -174,6 +185,7 @@ class Engine final : public EngineView {
   void release_due();
   void drain_to(double horizon);
   Step decision_step(double t_arrive, double horizon, double& t_section);
+  void compute_rates(bool validate);
 
   int m_;
   EngineConfig cfg_;
@@ -195,6 +207,45 @@ class Engine final : public EngineView {
   SimResult result_;
   obs::RunStats* stats_ = nullptr;
   double run_start_ = 0.0;
+
+  // Decision-step scratch, reused (cleared, never freed) across steps so
+  // the steady-state hot path performs no heap allocation. None of this
+  // is simulation state: everything here is either overwritten before use
+  // each step or a self-validating memo of values derivable from alive_,
+  // and all of it is deliberately absent from EngineState.
+  std::vector<double> rates_;
+  ContextCache ctx_cache_;
+  std::vector<std::size_t> completion_order_;  // new-record indices, id-sorted
+  std::vector<std::size_t> comp_idx_;  // this step's completed positions, asc
+  /// Per-job fast-path memo for the advance loop, index-aligned with
+  /// alive_ (appended on admission, swapped on removal, reset on
+  /// import_state). `q` memoizes the flow-integral quotient 0.5*(r+r)/size
+  /// for the job's current remaining work r — the rate-0 advance arm's
+  /// division result, reusable verbatim because r only changes in the
+  /// full arm, which refreshes q eagerly. A job with `needs_full` set
+  /// (fresh admission or snapshot restore) takes the full advance arm
+  /// once — replaying the general path's clamps and phase/completion
+  /// checks bit for bit, then clearing the flag — so the fast arm may
+  /// assume the invariants the full arm establishes on survivors:
+  /// nonnegative remaining/phase_remaining, no pending phase advance,
+  /// remaining strictly above the completion tolerance. All of those are
+  /// constant while the job's rate stays 0, so the fast arm touches only
+  /// this dense memo, never the (much wider) AliveJob record — that is
+  /// what makes a dense mostly-idle decision step cheap.
+  struct FlowQ {
+    double q = 0.0;
+    std::uint8_t needs_full = 1;
+  };
+  std::vector<FlowQ> flow_q_;
+  /// rates_ / dt_complete_ for the decision in cached_alloc_, valid while
+  /// the decision is deferred (its inputs are frozen by the deferral
+  /// contract). Only a snapshot restore — which does not carry scratch —
+  /// leaves a cached decision without them.
+  double dt_complete_ = kInf;
+  bool rates_valid_ = false;
+  // Consecutive decision steps that advanced neither time nor any job /
+  // phase / completion state (satellite guard for zero-dt livelock).
+  std::uint64_t zero_dt_streak_ = 0;
 };
 
 /// Convenience: simulate a fixed instance with the given policy.

@@ -1,6 +1,7 @@
 // parsched — simulation results and flow-time accounting.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -14,7 +15,14 @@ namespace parsched {
 struct JobRecord {
   Job job;
   double completion = 0.0;
-  [[nodiscard]] double flow() const { return completion - job.release; }
+  /// Flow time F_j = C_j - r_j, clamped at 0: admission treats releases
+  /// within time_tol of `now` as due, so a job can complete up to
+  /// time_tol *before* its nominal release — physically that is zero
+  /// flow, and letting the negative epsilon through would make flow
+  /// totals (batch and streaming alike) dip below the true objective.
+  [[nodiscard]] double flow() const {
+    return std::max(0.0, completion - job.release);
+  }
 };
 
 /// Outcome of one simulation run.

@@ -32,60 +32,251 @@ struct LatestLess {
   }
 };
 
+/// Flat-key counterparts. The key structs carry the job id, so these
+/// induce exactly the same strict total orders as SrptLess/LatestLess
+/// above — the differential tests in tests/test_context_cache.cpp pin
+/// this equivalence.
+struct SrptKeyLess {
+  bool operator()(const ContextCache::SrptKey& a,
+                  const ContextCache::SrptKey& b) const {
+    if (a.remaining != b.remaining) return a.remaining < b.remaining;
+    if (a.release != b.release) return a.release < b.release;
+    return a.id < b.id;
+  }
+};
+
+struct LatestKeyLess {
+  bool operator()(const ContextCache::LatestKey& a,
+                  const ContextCache::LatestKey& b) const {
+    if (a.release != b.release) return a.release > b.release;
+    return a.id > b.id;
+  }
+};
+
 }  // namespace
 
-std::vector<std::size_t> SchedulerContext::by_remaining() const {
-  std::vector<std::size_t> idx(alive_.size());
+namespace refimpl {
+
+std::vector<std::size_t> by_remaining(std::span<const AliveJob> alive) {
+  std::vector<std::size_t> idx(alive.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::sort(idx.begin(), idx.end(), SrptLess{alive_});
+  std::sort(idx.begin(), idx.end(), SrptLess{alive});
   return idx;
 }
 
-std::vector<std::size_t> SchedulerContext::smallest_remaining(
-    std::size_t k) const {
-  std::vector<std::size_t> idx(alive_.size());
+std::vector<std::size_t> smallest_remaining(std::span<const AliveJob> alive,
+                                            std::size_t k) {
+  std::vector<std::size_t> idx(alive.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   if (k >= idx.size()) {
-    std::sort(idx.begin(), idx.end(), SrptLess{alive_});
+    std::sort(idx.begin(), idx.end(), SrptLess{alive});
     return idx;
   }
   std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
-                   idx.end(), SrptLess{alive_});
+                   idx.end(), SrptLess{alive});
   idx.resize(k);
-  std::sort(idx.begin(), idx.end(), SrptLess{alive_});
+  std::sort(idx.begin(), idx.end(), SrptLess{alive});
   return idx;
 }
 
-std::size_t SchedulerContext::min_remaining() const {
-  PARSCHED_CHECK(!alive_.empty(), "min_remaining over an empty context");
+std::size_t min_remaining(std::span<const AliveJob> alive) {
+  PARSCHED_CHECK(!alive.empty(), "min_remaining over an empty context");
   std::size_t best = 0;
-  const SrptLess less{alive_};
-  for (std::size_t i = 1; i < alive_.size(); ++i) {
+  const SrptLess less{alive};
+  for (std::size_t i = 1; i < alive.size(); ++i) {
     if (less(i, best)) best = i;
   }
   return best;
 }
 
-std::vector<std::size_t> SchedulerContext::by_latest_arrival() const {
-  std::vector<std::size_t> idx(alive_.size());
+std::vector<std::size_t> by_latest_arrival(std::span<const AliveJob> alive) {
+  std::vector<std::size_t> idx(alive.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
-  std::sort(idx.begin(), idx.end(), LatestLess{alive_});
+  std::sort(idx.begin(), idx.end(), LatestLess{alive});
   return idx;
 }
 
-std::vector<std::size_t> SchedulerContext::latest_arrivals(
-    std::size_t k) const {
-  std::vector<std::size_t> idx(alive_.size());
+std::vector<std::size_t> latest_arrivals(std::span<const AliveJob> alive,
+                                         std::size_t k) {
+  std::vector<std::size_t> idx(alive.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   if (k >= idx.size()) {
-    std::sort(idx.begin(), idx.end(), LatestLess{alive_});
+    std::sort(idx.begin(), idx.end(), LatestLess{alive});
     return idx;
   }
   std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
-                   idx.end(), LatestLess{alive_});
+                   idx.end(), LatestLess{alive});
   idx.resize(k);
-  std::sort(idx.begin(), idx.end(), LatestLess{alive_});
+  std::sort(idx.begin(), idx.end(), LatestLess{alive});
   return idx;
+}
+
+}  // namespace refimpl
+
+// --- Cached paths -----------------------------------------------------
+//
+// Layout: keys are gathered once per ordering per decision (one
+// sequential sweep over alive_), then sorted/selected in the flat key
+// buffer; the index order is scattered out of the keys afterwards. A
+// k-bounded query leaves the cache in kPrefix state with the first k
+// entries valid; a later wider query upgrades in place — because the
+// comparators are strict total orders, the sorted k-prefix produced by
+// selection is exactly the first k entries of the full sorted order, so
+// previously returned spans keep their contents across the upgrade.
+
+/// Ensure the first min(k, n) entries of the SRPT order are valid;
+/// k >= n means the full order.
+std::span<const std::size_t> SchedulerContext::srpt_span(std::size_t k) const {
+  ContextCache& c = *cache_;
+  const std::size_t n = alive_.size();
+  const bool want_full = k >= n;
+  const std::size_t want = want_full ? n : k;
+  const bool have_enough =
+      c.srpt_ == ContextCache::Memo::kFull ||
+      (c.srpt_ == ContextCache::Memo::kPrefix && c.srpt_prefix_ >= want);
+  if (have_enough) return {c.srpt_order_.data(), want};
+
+  // Small-k fast path: one sweep over alive_ with a bounded max-heap of
+  // the k best keys so far. The k smallest elements of a strict total
+  // order form a unique set, so (after the final sort) this yields
+  // exactly the nth_element prefix below, without gathering n keys.
+  // Past k ~ n/8 the gather + nth_element path wins; stay there.
+  if (!want_full && want > 0 && want <= n / 8) {
+    auto& heap = c.srpt_topk_;
+    heap.clear();
+    const SrptKeyLess less{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const AliveJob& j = alive_[i];
+      const ContextCache::SrptKey key{j.remaining, j.release, j.id,
+                                      static_cast<std::uint32_t>(i)};
+      if (heap.size() < want) {
+        heap.push_back(key);
+        if (heap.size() == want) std::make_heap(heap.begin(), heap.end(), less);
+      } else if (less(key, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), less);
+        heap.back() = key;
+        std::push_heap(heap.begin(), heap.end(), less);
+      }
+    }
+    std::sort(heap.begin(), heap.end(), less);
+    c.srpt_order_.resize(n);
+    for (std::size_t i = 0; i < want; ++i) c.srpt_order_[i] = heap[i].idx;
+    c.srpt_ = ContextCache::Memo::kPrefix;
+    c.srpt_prefix_ = want;
+    return {c.srpt_order_.data(), want};
+  }
+
+  if (!c.srpt_keys_full_) {
+    c.srpt_keys_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const AliveJob& j = alive_[i];
+      c.srpt_keys_[i] = {j.remaining, j.release, j.id,
+                         static_cast<std::uint32_t>(i)};
+    }
+    c.srpt_keys_full_ = true;
+  }
+  // A prior shorter prefix is a sorted prefix of the full order, so
+  // re-running selection over the whole key buffer is still correct
+  // (nth_element permutes freely; the scatter below rewrites the
+  // order buffer from scratch).
+  if (want_full) {
+    std::sort(c.srpt_keys_.begin(), c.srpt_keys_.end(), SrptKeyLess{});
+  } else {
+    std::nth_element(c.srpt_keys_.begin(),
+                     c.srpt_keys_.begin() + static_cast<std::ptrdiff_t>(k),
+                     c.srpt_keys_.end(), SrptKeyLess{});
+    std::sort(c.srpt_keys_.begin(),
+              c.srpt_keys_.begin() + static_cast<std::ptrdiff_t>(k),
+              SrptKeyLess{});
+  }
+  c.srpt_order_.resize(n);
+  for (std::size_t i = 0; i < want; ++i) {
+    c.srpt_order_[i] = c.srpt_keys_[i].idx;
+  }
+  c.srpt_ = want_full ? ContextCache::Memo::kFull : ContextCache::Memo::kPrefix;
+  c.srpt_prefix_ = want;
+  return {c.srpt_order_.data(), want};
+}
+
+std::span<const std::size_t> SchedulerContext::latest_span(
+    std::size_t k) const {
+  ContextCache& c = *cache_;
+  const std::size_t n = alive_.size();
+  const bool want_full = k >= n;
+  const std::size_t want = want_full ? n : k;
+  if (c.latest_ == ContextCache::Memo::kNone) {
+    c.latest_keys_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const AliveJob& j = alive_[i];
+      c.latest_keys_[i] = {j.release, j.id, static_cast<std::uint32_t>(i)};
+    }
+  }
+  const bool have_full = c.latest_ == ContextCache::Memo::kFull;
+  const bool have_enough =
+      have_full ||
+      (c.latest_ == ContextCache::Memo::kPrefix && c.latest_prefix_ >= want);
+  if (!have_enough) {
+    if (want_full) {
+      std::sort(c.latest_keys_.begin(), c.latest_keys_.end(), LatestKeyLess{});
+    } else {
+      std::nth_element(c.latest_keys_.begin(),
+                       c.latest_keys_.begin() + static_cast<std::ptrdiff_t>(k),
+                       c.latest_keys_.end(), LatestKeyLess{});
+      std::sort(c.latest_keys_.begin(),
+                c.latest_keys_.begin() + static_cast<std::ptrdiff_t>(k),
+                LatestKeyLess{});
+    }
+    c.latest_order_.resize(n);
+    for (std::size_t i = 0; i < want; ++i) {
+      c.latest_order_[i] = c.latest_keys_[i].idx;
+    }
+    c.latest_ =
+        want_full ? ContextCache::Memo::kFull : ContextCache::Memo::kPrefix;
+    c.latest_prefix_ = want;
+  }
+  return {c.latest_order_.data(), want};
+}
+
+std::span<const std::size_t> SchedulerContext::by_remaining() const {
+  if (cache_ != nullptr) return srpt_span(alive_.size());
+  fb_by_remaining_ = refimpl::by_remaining(alive_);
+  return fb_by_remaining_;
+}
+
+std::span<const std::size_t> SchedulerContext::smallest_remaining(
+    std::size_t k) const {
+  if (cache_ != nullptr) return srpt_span(k);
+  fb_smallest_ = refimpl::smallest_remaining(alive_, k);
+  return fb_smallest_;
+}
+
+std::size_t SchedulerContext::min_remaining() const {
+  if (cache_ == nullptr) return refimpl::min_remaining(alive_);
+  PARSCHED_CHECK(!alive_.empty(), "min_remaining over an empty context");
+  ContextCache& c = *cache_;
+  if (!c.min_valid_) {
+    // An SRPT prefix of any length already starts with the minimum.
+    if (c.srpt_ != ContextCache::Memo::kNone && c.srpt_prefix_ > 0) {
+      c.min_idx_ = c.srpt_order_[0];
+    } else {
+      c.min_idx_ = refimpl::min_remaining(alive_);
+    }
+    c.min_valid_ = true;
+  }
+  return c.min_idx_;
+}
+
+std::span<const std::size_t> SchedulerContext::by_latest_arrival() const {
+  if (cache_ != nullptr) return latest_span(alive_.size());
+  fb_by_latest_ = refimpl::by_latest_arrival(alive_);
+  return fb_by_latest_;
+}
+
+std::span<const std::size_t> SchedulerContext::latest_arrivals(
+    std::size_t k) const {
+  if (cache_ != nullptr) return latest_span(k);
+  fb_latest_k_ = refimpl::latest_arrivals(alive_, k);
+  return fb_latest_k_;
 }
 
 }  // namespace parsched

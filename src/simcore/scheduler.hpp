@@ -41,25 +41,114 @@ struct AliveJob {
   double phase_remaining = 0.0;
 };
 
+/// Reference implementations of the SchedulerContext ordering helpers:
+/// the original per-call iota + sort / nth_element code, kept verbatim so
+/// the memoized ContextCache path can be differentially tested against it
+/// (tests/test_context_cache.cpp). A SchedulerContext constructed without
+/// a cache routes every helper call through these — that is the engine's
+/// EngineConfig::use_context_cache = false mode.
+namespace refimpl {
+
+[[nodiscard]] std::vector<std::size_t> by_remaining(
+    std::span<const AliveJob> alive);
+[[nodiscard]] std::vector<std::size_t> smallest_remaining(
+    std::span<const AliveJob> alive, std::size_t k);
+[[nodiscard]] std::size_t min_remaining(std::span<const AliveJob> alive);
+[[nodiscard]] std::vector<std::size_t> by_latest_arrival(
+    std::span<const AliveJob> alive);
+[[nodiscard]] std::vector<std::size_t> latest_arrivals(
+    std::span<const AliveJob> alive, std::size_t k);
+
+}  // namespace refimpl
+
+/// Per-decision memo for the SchedulerContext ordering helpers. The engine
+/// owns one and lends it to the context it builds at each decision point,
+/// calling invalidate() first; the buffers themselves are never freed, so
+/// after warm-up a decision step performs no allocations no matter how
+/// many ordering queries the policy issues.
+///
+/// Within one decision the cache holds at most one SRPT ordering and one
+/// latest-arrival ordering. A k-bounded query (smallest_remaining /
+/// latest_arrivals) is served by selection into the shared buffer and
+/// recorded as a prefix; a later wider or full query upgrades the prefix
+/// to the full sorted order in place. Both paths produce index sequences
+/// identical to refimpl:: — the comparators are strict total orders
+/// (ties broken by job id), so any sorted prefix equals the same prefix
+/// of the full sorted order.
+class ContextCache {
+ public:
+  /// Forget all memoized orderings (the alive set changed). Keeps the
+  /// buffer capacity.
+  void invalidate() {
+    srpt_ = Memo::kNone;
+    latest_ = Memo::kNone;
+    srpt_keys_full_ = false;
+    min_valid_ = false;
+  }
+
+  // Flat sort keys: sorting 24/16-byte key records beats sorting indices
+  // through 150-byte AliveJob records (the gather pass is a single
+  // sequential sweep; the sort then stays cache-resident). Public only so
+  // scheduler.cpp's file-local comparators can name them.
+  struct SrptKey {
+    double remaining;
+    double release;
+    JobId id;
+    std::uint32_t idx;
+  };
+  struct LatestKey {
+    double release;
+    JobId id;
+    std::uint32_t idx;
+  };
+
+ private:
+  friend class SchedulerContext;
+
+  enum class Memo : std::uint8_t { kNone, kPrefix, kFull };
+
+  std::vector<SrptKey> srpt_keys_;
+  std::vector<SrptKey> srpt_topk_;  ///< bounded-heap scratch for small k
+  std::vector<LatestKey> latest_keys_;
+  std::vector<std::size_t> srpt_order_;
+  std::vector<std::size_t> latest_order_;
+  std::size_t srpt_prefix_ = 0;    ///< valid length when srpt_ == kPrefix
+  std::size_t latest_prefix_ = 0;  ///< valid length when latest_ == kPrefix
+  Memo srpt_ = Memo::kNone;
+  Memo latest_ = Memo::kNone;
+  bool srpt_keys_full_ = false;  ///< srpt_keys_ holds a gather of all n jobs
+  std::size_t min_idx_ = 0;
+  bool min_valid_ = false;
+};
+
 /// What a policy sees at a decision point.
+///
+/// The ordering helpers return spans into storage owned by the attached
+/// ContextCache (or, without a cache, by this context). A returned span
+/// stays valid until the next helper call *of the same ordering family*
+/// on this context; with a cache attached it stays valid for the whole
+/// decision, since repeated queries are served from the same memo.
 class SchedulerContext {
  public:
-  SchedulerContext(double time, int machines,
-                   std::span<const AliveJob> alive)
-      : time_(time), machines_(machines), alive_(alive) {}
+  /// `cache` may be null: every helper call then recomputes its ordering
+  /// from scratch via refimpl:: (the pre-memoization behaviour, kept as
+  /// the differential-test reference).
+  SchedulerContext(double time, int machines, std::span<const AliveJob> alive,
+                   ContextCache* cache = nullptr)
+      : time_(time), machines_(machines), alive_(alive), cache_(cache) {}
 
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] int machines() const { return machines_; }
   [[nodiscard]] std::span<const AliveJob> alive() const { return alive_; }
 
   /// Indices into alive() sorted by (remaining, release, id): SRPT order.
-  [[nodiscard]] std::vector<std::size_t> by_remaining() const;
+  [[nodiscard]] std::span<const std::size_t> by_remaining() const;
 
   /// Indices of the k jobs with least remaining work (SRPT order among
-  /// them). O(n + k log k) via selection — policies that only need the
-  /// head of the SRPT order (all of them, in practice) should use this
-  /// instead of by_remaining().
-  [[nodiscard]] std::vector<std::size_t> smallest_remaining(
+  /// them) — the first k entries of by_remaining() without paying for the
+  /// full sort. O(n + k log k) via selection on a cold cache; O(1) when
+  /// the decision's SRPT order is already memoized.
+  [[nodiscard]] std::span<const std::size_t> smallest_remaining(
       std::size_t k) const;
 
   /// Index of the single job with least remaining work. O(n).
@@ -67,15 +156,27 @@ class SchedulerContext {
 
   /// Indices into alive() sorted by (release, id) descending: latest first
   /// (used by LAPS).
-  [[nodiscard]] std::vector<std::size_t> by_latest_arrival() const;
+  [[nodiscard]] std::span<const std::size_t> by_latest_arrival() const;
 
   /// Indices of the k latest-arriving jobs. O(n + k log k).
-  [[nodiscard]] std::vector<std::size_t> latest_arrivals(std::size_t k) const;
+  [[nodiscard]] std::span<const std::size_t> latest_arrivals(
+      std::size_t k) const;
 
  private:
+  [[nodiscard]] std::span<const std::size_t> srpt_span(std::size_t k) const;
+  [[nodiscard]] std::span<const std::size_t> latest_span(std::size_t k) const;
+
   double time_;
   int machines_;
   std::span<const AliveJob> alive_;
+  ContextCache* cache_;
+  // Fallback storage backing the returned spans when cache_ == nullptr.
+  // One buffer per helper, so (like the old per-call vectors) the result
+  // of one helper is not clobbered by a call to a different one.
+  mutable std::vector<std::size_t> fb_by_remaining_;
+  mutable std::vector<std::size_t> fb_smallest_;
+  mutable std::vector<std::size_t> fb_by_latest_;
+  mutable std::vector<std::size_t> fb_latest_k_;
 };
 
 /// A policy's answer: `shares[i]` processors for `ctx.alive()[i]`
@@ -85,6 +186,15 @@ class SchedulerContext {
 struct Allocation {
   std::vector<double> shares;
   double reconsider_at = kInf;
+
+  /// Start a fresh decision over n jobs: zero shares, no reconsideration.
+  /// Reuses the vector's capacity — every policy calls this first on the
+  /// engine-owned output buffer, so steady-state decisions allocate
+  /// nothing.
+  void reset(std::size_t n) {
+    shares.assign(n, 0.0);
+    reconsider_at = kInf;
+  }
 };
 
 /// Online scheduling policy. Implementations must be deterministic
@@ -94,7 +204,20 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  [[nodiscard]] virtual Allocation allocate(const SchedulerContext& ctx) = 0;
+
+  /// Fill `out` with this decision's allocation. `out` is an engine-owned
+  /// buffer reused across decisions; implementations MUST begin with
+  /// out.reset(ctx.alive().size()) (or assign every field) — its previous
+  /// contents are the last decision's answer, not zeros.
+  virtual void allocate(const SchedulerContext& ctx, Allocation& out) = 0;
+
+  /// Convenience for callers without a reusable buffer (tests, one-shot
+  /// probes): returns a fresh Allocation.
+  [[nodiscard]] Allocation allocate(const SchedulerContext& ctx) {
+    Allocation out;
+    allocate(ctx, out);
+    return out;
+  }
 
   /// Called once before a simulation run; default resets nothing.
   virtual void reset() {}

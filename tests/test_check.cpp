@@ -314,17 +314,16 @@ TEST(InvariantAuditor, PolicyLintCatchesStructuralDrift) {
 // An anti-SRPT policy: feasible 0/1 shares, but serves the *longest* jobs.
 class AntiSrpt final : public Scheduler {
  public:
+  using Scheduler::allocate;
   std::string name() const override { return "Anti-SRPT"; }
-  Allocation allocate(const SchedulerContext& ctx) override {
+  void allocate(const SchedulerContext& ctx, Allocation& out) override {
     const std::size_t n = ctx.alive().size();
     const auto m = static_cast<std::size_t>(ctx.machines());
-    Allocation a;
-    a.shares.assign(n, 0.0);
-    auto order = ctx.by_remaining();  // ascending; serve from the back
+    out.reset(n);
+    const auto order = ctx.by_remaining();  // ascending; serve from the back
     for (std::size_t i = 0; i < std::min(n, m); ++i) {
-      a.shares[order[n - 1 - i]] = 1.0;
+      out.shares[order[n - 1 - i]] = 1.0;
     }
-    return a;
   }
 };
 
@@ -380,16 +379,15 @@ TEST(Determinism, SchedulerReuseExercisesReset) {
 // A scheduler whose reset() forgets state: run 2 diverges from run 1.
 class LeakyStateScheduler final : public Scheduler {
  public:
+  using Scheduler::allocate;
   std::string name() const override { return "LeakyState"; }
-  Allocation allocate(const SchedulerContext& ctx) override {
-    Allocation a;
-    a.shares.assign(ctx.alive().size(), 0.0);
-    if (!a.shares.empty()) {
+  void allocate(const SchedulerContext& ctx, Allocation& out) override {
+    out.reset(ctx.alive().size());
+    if (!out.shares.empty()) {
       // Round-robins on a counter that reset() fails to clear.
-      a.shares[calls_++ % a.shares.size()] =
+      out.shares[calls_++ % out.shares.size()] =
           static_cast<double>(ctx.machines());
     }
-    return a;
   }
   // reset() intentionally omitted: state leaks across runs.
 

@@ -267,6 +267,63 @@ TEST(Snapshot, QuantizedEquiCursorSurvives) {
   expect_results_identical(donor.result(), clone->result());
 }
 
+// import_state() must refuse a snapshot taken under a different decision
+// arithmetic: speed, completion_tol, and time_tol all enter the computed
+// trajectory, so restoring into an engine that disagrees on any of them
+// would continue a *different* simulation while claiming bit-identity.
+TEST(Snapshot, ImportRejectsMismatchedEngineConfig) {
+  const auto jobs = mixed_jobs(12, 9);
+  auto donor_sched = make_scheduler("isrpt");
+  Engine donor(3);
+  donor.begin(*donor_sched);
+  for (std::size_t i = 0; i < 6; ++i) donor.admit(jobs[i]);
+  donor.advance_to(jobs[5].release);
+  const EngineState state = donor.export_state();
+
+  auto expect_rejected = [&](EngineConfig cfg, const char* needle) {
+    Engine host(3, cfg);
+    auto sched = make_scheduler("isrpt");
+    try {
+      host.import_state(state, *sched);
+      FAIL() << "import accepted a config with mismatched " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  EngineConfig cfg;
+  cfg.speed = 2.0;
+  expect_rejected(cfg, "speed");
+  cfg = EngineConfig{};
+  cfg.completion_tol = 1e-6;
+  expect_rejected(cfg, "completion_tol");
+  cfg = EngineConfig{};
+  cfg.time_tol = 1e-6;
+  expect_rejected(cfg, "time_tol");
+  {
+    Engine host(4);
+    auto sched = make_scheduler("isrpt");
+    EXPECT_THROW(host.import_state(state, *sched), std::invalid_argument);
+  }
+
+  // Config knobs outside the decision arithmetic are deliberately not
+  // checked: a matching engine with the context cache disabled imports
+  // fine and continues bit-identically to the donor (the cache is pure
+  // mechanism).
+  EngineConfig uncached;
+  uncached.use_context_cache = false;
+  Engine host(3, uncached);
+  auto host_sched = make_scheduler("isrpt");
+  host.import_state(state, *host_sched);
+  auto tail = [&jobs](Engine& e) {
+    for (std::size_t i = 6; i < jobs.size(); ++i) e.admit(jobs[i]);
+    return e.finish();
+  };
+  const SimResult continued = tail(host);
+  const SimResult donor_result = tail(donor);
+  expect_results_identical(continued, donor_result);
+}
+
 TEST(Snapshot, CorruptBlobsAreRejected) {
   serve::Session s({"equi", 2, 1.0, nullptr});
   Job j;

@@ -142,33 +142,31 @@ TEST(Engine, IdleGapBetweenJobs) {
 
 class ZeroScheduler final : public Scheduler {
  public:
+  using Scheduler::allocate;
   std::string name() const override { return "Zero"; }
-  Allocation allocate(const SchedulerContext& ctx) override {
-    Allocation a;
-    a.shares.assign(ctx.alive().size(), 0.0);
-    return a;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override {
+    out.reset(ctx.alive().size());
   }
 };
 
 class OvercommitScheduler final : public Scheduler {
  public:
+  using Scheduler::allocate;
   std::string name() const override { return "Overcommit"; }
-  Allocation allocate(const SchedulerContext& ctx) override {
-    Allocation a;
-    a.shares.assign(ctx.alive().size(),
-                    static_cast<double>(ctx.machines()) + 1.0);
-    return a;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override {
+    out.reset(ctx.alive().size());
+    for (double& s : out.shares) s = static_cast<double>(ctx.machines()) + 1.0;
   }
 };
 
 class PastReconsider final : public Scheduler {
  public:
+  using Scheduler::allocate;
   std::string name() const override { return "Past"; }
-  Allocation allocate(const SchedulerContext& ctx) override {
-    Allocation a;
-    a.shares.assign(ctx.alive().size(), 1.0);
-    a.reconsider_at = ctx.time() - 1.0;
-    return a;
+  void allocate(const SchedulerContext& ctx, Allocation& out) override {
+    out.reset(ctx.alive().size());
+    for (double& s : out.shares) s = 1.0;
+    out.reconsider_at = ctx.time() - 1.0;
   }
 };
 
