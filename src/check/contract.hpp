@@ -152,6 +152,23 @@ inline std::string near_detail(double a, double b, double tol) {
 }  // namespace check_detail
 }  // namespace parsched
 
+/// Marks a function definition as engine-hot-path: it runs inside the
+/// steady-state decision loop and must perform no heap allocation.
+/// tools/parsched_analyze.py statically scans every PARSCHED_HOT body
+/// for banned constructs (local container/string construction, `new`,
+/// make_unique/make_shared, std::function creation); the dynamic twin is
+/// check/alloc_guard.hpp, which the engine arms around these regions
+/// under PARSCHED_AUDIT=1. A justified allocation (e.g. building the
+/// message for an error throw) is suppressed with a trailing
+/// `// lint: alloc-ok`, which the linter's suppression-audit mode keeps
+/// visible. Expands to [[gnu::hot]] where supported, so the annotation
+/// also feeds the optimizer's block placement.
+#if defined(__GNUC__) || defined(__clang__)
+#define PARSCHED_HOT [[gnu::hot]]
+#else
+#define PARSCHED_HOT
+#endif
+
 // Two-level dispatch so the macros accept an optional message argument.
 #define PARSCHED_CHECK_IMPL_(kind, cond, detail, dbg)                       \
   do {                                                                      \

@@ -4,9 +4,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
-void Equi::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void Equi::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
   out.reset(n);
   if (n == 0) return;
@@ -39,7 +41,8 @@ std::string OldestEqui::name() const {
   return os.str();
 }
 
-void OldestEqui::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void OldestEqui::allocate(const SchedulerContext& ctx,
+                                       Allocation& out) {
   const std::size_t n = ctx.alive().size();
   out.reset(n);
   if (n == 0) return;
@@ -52,7 +55,7 @@ void OldestEqui::allocate(const SchedulerContext& ctx, Allocation& out) {
   for (std::size_t i = n - k; i < n; ++i) out.shares[order[i]] = share;
 }
 
-void Laps::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void Laps::allocate(const SchedulerContext& ctx, Allocation& out) {
   const std::size_t n = ctx.alive().size();
   out.reset(n);
   if (n == 0) return;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
 GreedyHybrid::GreedyHybrid(double max_quantum) : max_quantum_(max_quantum) {
@@ -12,7 +14,8 @@ GreedyHybrid::GreedyHybrid(double max_quantum) : max_quantum_(max_quantum) {
   }
 }
 
-void GreedyHybrid::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void GreedyHybrid::allocate(const SchedulerContext& ctx,
+                                         Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const int m = ctx.machines();

@@ -1,8 +1,10 @@
 #include "sched/intermediate_srpt.hpp"
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
-void IntermediateSrpt::allocate(const SchedulerContext& ctx,
+PARSCHED_HOT void IntermediateSrpt::allocate(const SchedulerContext& ctx,
                                 Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());

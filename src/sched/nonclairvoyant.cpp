@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "util/mathx.hpp"
 
 namespace parsched {
@@ -34,7 +35,7 @@ std::string Setf::name() const {
   return os.str();
 }
 
-void Setf::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void Setf::allocate(const SchedulerContext& ctx, Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const auto m = static_cast<std::size_t>(ctx.machines());
@@ -61,7 +62,7 @@ void Setf::allocate(const SchedulerContext& ctx, Allocation& out) {
   out.reconsider_at = ctx.time() + quantum_;
 }
 
-void Mlf::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void Mlf::allocate(const SchedulerContext& ctx, Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const auto m = static_cast<std::size_t>(ctx.machines());

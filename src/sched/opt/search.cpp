@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <stdexcept>
 
+#include "check/contract.hpp"
 #include "simcore/engine.hpp"
 #include "util/rng.hpp"
 
@@ -23,7 +24,7 @@ PriorityListScheduler::PriorityListScheduler(std::vector<JobId> order) {
   }
 }
 
-void PriorityListScheduler::allocate(const SchedulerContext& ctx,
+PARSCHED_HOT void PriorityListScheduler::allocate(const SchedulerContext& ctx,
                                      Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();

@@ -1,8 +1,11 @@
 #include "sched/parallel_srpt.hpp"
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
-void ParallelSrpt::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void ParallelSrpt::allocate(const SchedulerContext& ctx,
+                                         Allocation& out) {
   const std::size_t n = ctx.alive().size();
   out.reset(n);
   if (n == 0) return;

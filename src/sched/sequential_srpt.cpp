@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
-void SequentialSrpt::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void SequentialSrpt::allocate(const SchedulerContext& ctx,
+                                           Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
   out.reset(n);

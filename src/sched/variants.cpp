@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
 IsrptThreshold::IsrptThreshold(double theta) : theta_(theta) {
@@ -17,7 +19,8 @@ std::string IsrptThreshold::name() const {
   return os.str();
 }
 
-void IsrptThreshold::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void IsrptThreshold::allocate(const SchedulerContext& ctx,
+                                           Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
   out.reset(n);
@@ -34,7 +37,7 @@ void IsrptThreshold::allocate(const SchedulerContext& ctx, Allocation& out) {
   }
 }
 
-void IsrptBoostShortest::allocate(const SchedulerContext& ctx,
+PARSCHED_HOT void IsrptBoostShortest::allocate(const SchedulerContext& ctx,
                                   Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
@@ -60,7 +63,8 @@ std::string QuantizedEqui::name() const {
   return os.str();
 }
 
-void QuantizedEqui::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void QuantizedEqui::allocate(const SchedulerContext& ctx,
+                                          Allocation& out) {
   const std::size_t n = ctx.alive().size();
   const auto m = static_cast<std::size_t>(ctx.machines());
   out.reset(n);

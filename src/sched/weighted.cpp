@@ -4,9 +4,12 @@
 #include <numeric>
 #include <vector>
 
+#include "check/contract.hpp"
+
 namespace parsched {
 
-void WeightedIsrpt::allocate(const SchedulerContext& ctx, Allocation& out) {
+PARSCHED_HOT void WeightedIsrpt::allocate(const SchedulerContext& ctx,
+                                          Allocation& out) {
   const auto alive = ctx.alive();
   const std::size_t n = alive.size();
   const auto m = static_cast<std::size_t>(ctx.machines());

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "check/alloc_guard.hpp"
 #include "check/contract.hpp"
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 #include "util/mathx.hpp"
 
 namespace parsched {
@@ -41,6 +44,7 @@ Engine::Engine(int machines, EngineConfig config)
   if (!(cfg_.speed > 0.0)) {
     throw std::invalid_argument("engine speed must be positive");
   }
+  audit_allocs_ = env::get_flag("PARSCHED_AUDIT");
 }
 
 void Engine::add_observer(Observer* obs) {
@@ -80,6 +84,7 @@ void Engine::begin_run(Scheduler& sched) {
   cached_alloc_ = Allocation{};
   result_ = SimResult{};
   zero_dt_streak_ = 0;
+  alloc_warm_n_ = 0;
   flow_q_.clear();
   rates_valid_ = false;
   stats_ = nullptr;
@@ -141,6 +146,20 @@ void Engine::admit_job_now(Job j) {
   a.phase_remaining = j.phases.empty() ? j.size : j.phases[0].work;
   alive_.push_back(std::move(a));
   flow_q_.push_back(FlowQ{});  // memo slot starts invalid
+  // Keep the completion-scan scratch's capacity at least the alive count
+  // (geometric growth, amortized O(1) per admission): the fused advance
+  // sweep may push up to |alive| completed positions, and pre-paying the
+  // growth here — outside the guarded scopes — is what makes the sweep
+  // allocation-free even on mass-completion steps.
+  if (comp_idx_.capacity() < alive_.size()) {
+    comp_idx_.reserve(std::max(alive_.size(), comp_idx_.capacity() * 2));
+  }
+  // Same pre-payment for the ordering-helper buffers: which helper code
+  // path runs depends on the alive count (small-k selection vs. full
+  // gather), so a *shrinking* run can reach a buffer that the larger
+  // steps never touched. Reserving to the high-water mark here makes
+  // every path allocation-free regardless of where the switch lands.
+  ctx_cache_.reserve(alive_.size());
   ++result_.events;
   for (Observer* obs : observers_) obs->on_arrival(now_, j);
 }
@@ -173,7 +192,7 @@ void Engine::release_due() {
   }
 }
 
-void Engine::compute_rates(bool validate) {
+PARSCHED_HOT void Engine::compute_rates(bool validate) {
   // One fused pass over the decision's shares: feasibility validation
   // (when requested) and the per-job rates that hold until the next
   // event, plus the earliest phase end under those rates. rates_ is
@@ -191,7 +210,8 @@ void Engine::compute_rates(bool validate) {
   for (std::size_t i = 0; i < alive_.size(); ++i) {
     const double s = alloc.shares[i];
     if (validate && !(s >= 0.0)) {
-      throw std::logic_error("negative share from policy " + sched_->name());
+      throw std::logic_error("negative share from policy " +  // lint: alloc-ok
+                             sched_->name());
     }
     sum += s;
     // Exactly-zero share means exactly-zero rate (Γ(0) = 0); the skip
@@ -207,15 +227,16 @@ void Engine::compute_rates(bool validate) {
     }
   }
   if (validate && sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
-    throw std::logic_error("overcommitted shares from policy " +
+    throw std::logic_error("overcommitted shares from " +  // lint: alloc-ok
                            sched_->name());
   }
   dt_complete_ = dt_complete;
   rates_valid_ = true;
 }
 
-Engine::Step Engine::decision_step(double t_arrive, double horizon,
-                                   double& t_section) {
+PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
+                                                double horizon,
+                                                double& t_section) {
   // One decision interval of the simulation, shared verbatim between the
   // batch loop (horizon = kInf, never defers) and the streaming loop. The
   // allocation is computed at most once per decision point: a step
@@ -227,8 +248,18 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
       throw std::runtime_error("engine exceeded max_decisions guard");
     }
     ctx_cache_.invalidate();
-    SchedulerContext ctx(now_, m_, alive_,
-                         cfg_.use_context_cache ? &ctx_cache_ : nullptr);
+    SchedulerContext ctx(now_, m_, alive_, &ctx_cache_,
+                         cfg_.use_context_cache);
+    // PARSCHED_AUDIT: warm allocate+rates sections must not touch the
+    // heap — every scratch buffer is capacity-stable once a step at this
+    // alive count has completed. (A policy-error throw inside the scope
+    // surfaces as the guard's ContractViolation under audit, since
+    // building the error message allocates; the diagnostic still names
+    // the offending region.)
+    std::optional<AllocGuard> fence;
+    if (audit_allocs_ && alive_.size() <= alloc_warm_n_) {
+      fence.emplace("Engine decision step: allocate+rates");
+    }
     const double t_decide0 = stats_ != nullptr ? obs::monotonic_seconds()
                                                : 0.0;
     sched_->allocate(ctx, cached_alloc_);
@@ -238,10 +269,13 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
       stats_->alive_count.add(static_cast<double>(alive_.size()));
     }
     if (cached_alloc_.shares.size() != alive_.size()) {
+      fence.reset();
       throw std::logic_error("allocation size mismatch from policy " +
                              sched_->name());
     }
     compute_rates(cfg_.validate_allocations);
+    fence.reset();
+    alloc_warm_n_ = std::max(alloc_warm_n_, alive_.size());
     if (stats_ != nullptr) {
       const double t = obs::monotonic_seconds();
       stats_->solver_seconds += t - t_section;  // validation + rates
@@ -299,6 +333,14 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
   // for the job's exact current remaining.
   bool phase_advanced = false;
   comp_idx_.clear();
+  // PARSCHED_AUDIT: the fused sweep is pure per-job arithmetic over
+  // capacity-stable buffers (comp_idx_ is pre-reserved at admission), so
+  // on a warm step it must not allocate. Completion record-keeping below
+  // is result accumulation, not scratch, and stays outside the fence.
+  std::optional<AllocGuard> sweep_fence;
+  if (audit_allocs_ && alive_.size() <= alloc_warm_n_) {
+    sweep_fence.emplace("Engine decision step: advance sweep");
+  }
   const double ctol = cfg_.completion_tol;
   for (std::size_t i = 0; i < alive_.size(); ++i) {
     const double r = rates_[i];
@@ -336,6 +378,7 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
     }
     if (after <= tol) comp_idx_.push_back(i);
   }
+  sweep_fence.reset();
   now_ += dt;
 
   // Handle completions (anything within tolerance of zero). The removal
@@ -418,7 +461,7 @@ Engine::Step Engine::decision_step(double t_arrive, double horizon,
   if (dt > 0.0 || phase_advanced || n_completed > 0) {
     zero_dt_streak_ = 0;
   } else if (++zero_dt_streak_ > alive_.size() + 2) {
-    std::ostringstream os;
+    std::ostringstream os;  // lint: alloc-ok (stall diagnostic, cold path)
     os << "zero-length decision intervals are making no progress";
     for (std::size_t i = 0; i < alive_.size(); ++i) {
       if (rates_[i] > 0.0 && alive_[i].phase_remaining <= 0.0) {
@@ -598,7 +641,10 @@ void Engine::import_state(const EngineState& s, Scheduler& sched) {
   result_ = s.result;
   result_.stats.reset();
   zero_dt_streak_ = 0;  // scratch, not state: restart the livelock guard
+  alloc_warm_n_ = 0;  // scratch is cold after a restore; re-warm unguarded
   flow_q_.assign(alive_.size(), FlowQ{});  // memos rebuild lazily
+  comp_idx_.reserve(alive_.size());
+  ctx_cache_.reserve(alive_.size());
   rates_valid_ = false;  // a deferred decision recomputes its rates once
   stats_ = nullptr;  // profiling does not continue across a restore
   run_start_ = 0.0;

@@ -46,7 +46,8 @@ struct EngineConfig {
   /// Lend the engine-owned ContextCache to the SchedulerContext built at
   /// each decision point, so the ordering helpers share one sort per
   /// ordering per decision. Off, every helper call recomputes from
-  /// scratch via refimpl:: — bit-identical by construction and kept as
+  /// scratch with refimpl::'s arithmetic (in-place, buffer-reusing
+  /// twins) — bit-identical by construction and kept as
   /// the reference arm of the differential tests. Not part of the
   /// simulation semantics: not serialized in snapshots, not checked by
   /// import_state().
@@ -246,6 +247,19 @@ class Engine final : public EngineView {
   // Consecutive decision steps that advanced neither time nor any job /
   // phase / completion state (satellite guard for zero-dt livelock).
   std::uint64_t zero_dt_streak_ = 0;
+  /// PARSCHED_AUDIT=1 (read once at construction): arm a check::AllocGuard
+  /// around each *warm* decision step's allocate+rates section and fused
+  /// advance sweep, so any heap allocation there is a hard contract
+  /// failure. A step is warm when the alive count is at most the largest
+  /// previously-guarded-or-completed step's (alloc_warm_n_): every
+  /// scratch buffer — engine- and policy-owned — is sized by the alive
+  /// count and never shrinks, so the first step at a new maximum pays
+  /// the growth once, unguarded, and everything after it must be
+  /// allocation-free. Observer callbacks and completion record-keeping
+  /// (result accumulation, not per-decision scratch) stay outside the
+  /// guarded scopes.
+  bool audit_allocs_ = false;
+  std::size_t alloc_warm_n_ = 0;
 };
 
 /// Convenience: simulate a fixed instance with the given policy.

@@ -53,6 +53,56 @@ struct LatestKeyLess {
   }
 };
 
+/// In-place twins of the refimpl:: functions, backing the cache-less
+/// fallback path. Same iota + sort / nth_element arithmetic over the
+/// same strict total orders — the index sequences are identical entry
+/// for entry — but filling a reusable buffer, so the cache-off engine
+/// mode (EngineConfig::use_context_cache = false) is also allocation-
+/// free once the fallback buffers are warm. refimpl:: itself keeps
+/// returning fresh vectors by design: it is the per-call differential
+/// reference, not a hot path.
+void fill_by_remaining(std::span<const AliveJob> alive,
+                       std::vector<std::size_t>& out) {
+  out.resize(alive.size());
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  std::sort(out.begin(), out.end(), SrptLess{alive});
+}
+
+void fill_smallest_remaining(std::span<const AliveJob> alive, std::size_t k,
+                             std::vector<std::size_t>& out) {
+  out.resize(alive.size());
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  if (k >= out.size()) {
+    std::sort(out.begin(), out.end(), SrptLess{alive});
+    return;
+  }
+  std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k),
+                   out.end(), SrptLess{alive});
+  out.resize(k);
+  std::sort(out.begin(), out.end(), SrptLess{alive});
+}
+
+void fill_by_latest_arrival(std::span<const AliveJob> alive,
+                            std::vector<std::size_t>& out) {
+  out.resize(alive.size());
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  std::sort(out.begin(), out.end(), LatestLess{alive});
+}
+
+void fill_latest_arrivals(std::span<const AliveJob> alive, std::size_t k,
+                          std::vector<std::size_t>& out) {
+  out.resize(alive.size());
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  if (k >= out.size()) {
+    std::sort(out.begin(), out.end(), LatestLess{alive});
+    return;
+  }
+  std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k),
+                   out.end(), LatestLess{alive});
+  out.resize(k);
+  std::sort(out.begin(), out.end(), LatestLess{alive});
+}
+
 }  // namespace
 
 namespace refimpl {
@@ -126,7 +176,8 @@ std::vector<std::size_t> latest_arrivals(std::span<const AliveJob> alive,
 
 /// Ensure the first min(k, n) entries of the SRPT order are valid;
 /// k >= n means the full order.
-std::span<const std::size_t> SchedulerContext::srpt_span(std::size_t k) const {
+PARSCHED_HOT std::span<const std::size_t> SchedulerContext::srpt_span(
+    std::size_t k) const {
   ContextCache& c = *cache_;
   const std::size_t n = alive_.size();
   const bool want_full = k >= n;
@@ -198,7 +249,7 @@ std::span<const std::size_t> SchedulerContext::srpt_span(std::size_t k) const {
   return {c.srpt_order_.data(), want};
 }
 
-std::span<const std::size_t> SchedulerContext::latest_span(
+PARSCHED_HOT std::span<const std::size_t> SchedulerContext::latest_span(
     std::size_t k) const {
   ContextCache& c = *cache_;
   const std::size_t n = alive_.size();
@@ -237,21 +288,26 @@ std::span<const std::size_t> SchedulerContext::latest_span(
   return {c.latest_order_.data(), want};
 }
 
-std::span<const std::size_t> SchedulerContext::by_remaining() const {
-  if (cache_ != nullptr) return srpt_span(alive_.size());
-  fb_by_remaining_ = refimpl::by_remaining(alive_);
-  return fb_by_remaining_;
+PARSCHED_HOT std::span<const std::size_t> SchedulerContext::by_remaining()
+    const {
+  if (cache_ != nullptr && memoize_) return srpt_span(alive_.size());
+  auto& out = cache_ != nullptr ? cache_->fb_by_remaining_ : fb_by_remaining_;
+  fill_by_remaining(alive_, out);
+  return out;
 }
 
-std::span<const std::size_t> SchedulerContext::smallest_remaining(
+PARSCHED_HOT std::span<const std::size_t> SchedulerContext::smallest_remaining(
     std::size_t k) const {
-  if (cache_ != nullptr) return srpt_span(k);
-  fb_smallest_ = refimpl::smallest_remaining(alive_, k);
-  return fb_smallest_;
+  if (cache_ != nullptr && memoize_) return srpt_span(k);
+  auto& out = cache_ != nullptr ? cache_->fb_smallest_ : fb_smallest_;
+  fill_smallest_remaining(alive_, k, out);
+  return out;
 }
 
-std::size_t SchedulerContext::min_remaining() const {
-  if (cache_ == nullptr) return refimpl::min_remaining(alive_);
+PARSCHED_HOT std::size_t SchedulerContext::min_remaining() const {
+  // refimpl::min_remaining is a plain scan — allocation-free, so the
+  // memoization-off mode may call it directly.
+  if (cache_ == nullptr || !memoize_) return refimpl::min_remaining(alive_);
   PARSCHED_CHECK(!alive_.empty(), "min_remaining over an empty context");
   ContextCache& c = *cache_;
   if (!c.min_valid_) {
@@ -266,17 +322,20 @@ std::size_t SchedulerContext::min_remaining() const {
   return c.min_idx_;
 }
 
-std::span<const std::size_t> SchedulerContext::by_latest_arrival() const {
-  if (cache_ != nullptr) return latest_span(alive_.size());
-  fb_by_latest_ = refimpl::by_latest_arrival(alive_);
-  return fb_by_latest_;
+PARSCHED_HOT std::span<const std::size_t> SchedulerContext::by_latest_arrival()
+    const {
+  if (cache_ != nullptr && memoize_) return latest_span(alive_.size());
+  auto& out = cache_ != nullptr ? cache_->fb_by_latest_ : fb_by_latest_;
+  fill_by_latest_arrival(alive_, out);
+  return out;
 }
 
-std::span<const std::size_t> SchedulerContext::latest_arrivals(
+PARSCHED_HOT std::span<const std::size_t> SchedulerContext::latest_arrivals(
     std::size_t k) const {
-  if (cache_ != nullptr) return latest_span(k);
-  fb_latest_k_ = refimpl::latest_arrivals(alive_, k);
-  return fb_latest_k_;
+  if (cache_ != nullptr && memoize_) return latest_span(k);
+  auto& out = cache_ != nullptr ? cache_->fb_latest_k_ : fb_latest_k_;
+  fill_latest_arrivals(alive_, k, out);
+  return out;
 }
 
 }  // namespace parsched

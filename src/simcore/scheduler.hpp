@@ -45,8 +45,11 @@ struct AliveJob {
 /// the original per-call iota + sort / nth_element code, kept verbatim so
 /// the memoized ContextCache path can be differentially tested against it
 /// (tests/test_context_cache.cpp). A SchedulerContext constructed without
-/// a cache routes every helper call through these — that is the engine's
-/// EngineConfig::use_context_cache = false mode.
+/// a cache recomputes every helper call from scratch with the same
+/// arithmetic — via in-place twins of these functions that reuse the
+/// context's fallback buffers, so the engine's
+/// EngineConfig::use_context_cache = false mode is allocation-free too
+/// (check/alloc_guard.hpp audits both modes).
 namespace refimpl {
 
 [[nodiscard]] std::vector<std::size_t> by_remaining(
@@ -86,6 +89,26 @@ class ContextCache {
     min_valid_ = false;
   }
 
+  /// Pre-size every buffer for decisions over up to `n` alive jobs
+  /// (geometric growth, so a per-admission call stays O(n) amortized).
+  /// The engine calls this as the alive set grows: which helper code
+  /// path runs depends on n (small-k selection vs. full gather), so a
+  /// shrinking run can reach a buffer the larger steps never touched —
+  /// without this, the first gather at small n would be the lone heap
+  /// allocation in an otherwise warm decision loop (and a
+  /// check/alloc_guard.hpp audit failure).
+  void reserve(std::size_t n) {
+    grow(srpt_keys_, n);
+    grow(srpt_topk_, n);
+    grow(latest_keys_, n);
+    grow(srpt_order_, n);
+    grow(latest_order_, n);
+    grow(fb_by_remaining_, n);
+    grow(fb_smallest_, n);
+    grow(fb_by_latest_, n);
+    grow(fb_latest_k_, n);
+  }
+
   // Flat sort keys: sorting 24/16-byte key records beats sorting indices
   // through 150-byte AliveJob records (the gather pass is a single
   // sequential sweep; the sort then stays cache-resident). Public only so
@@ -107,11 +130,24 @@ class ContextCache {
 
   enum class Memo : std::uint8_t { kNone, kPrefix, kFull };
 
+  template <typename V>
+  static void grow(V& v, std::size_t n) {
+    if (v.capacity() < n) v.reserve(std::max(n, v.capacity() * 2));
+  }
+
   std::vector<SrptKey> srpt_keys_;
   std::vector<SrptKey> srpt_topk_;  ///< bounded-heap scratch for small k
   std::vector<LatestKey> latest_keys_;
   std::vector<std::size_t> srpt_order_;
   std::vector<std::size_t> latest_order_;
+  // Storage for the memoization-off fill_* twins (see SchedulerContext:
+  // a context carrying a cache with memoize = false recomputes every
+  // helper call into these, so the cache-off engine mode reuses
+  // engine-owned capacity instead of allocating per decision).
+  std::vector<std::size_t> fb_by_remaining_;
+  std::vector<std::size_t> fb_smallest_;
+  std::vector<std::size_t> fb_by_latest_;
+  std::vector<std::size_t> fb_latest_k_;
   std::size_t srpt_prefix_ = 0;    ///< valid length when srpt_ == kPrefix
   std::size_t latest_prefix_ = 0;  ///< valid length when latest_ == kPrefix
   Memo srpt_ = Memo::kNone;
@@ -132,10 +168,18 @@ class SchedulerContext {
  public:
   /// `cache` may be null: every helper call then recomputes its ordering
   /// from scratch via refimpl:: (the pre-memoization behaviour, kept as
-  /// the differential-test reference).
+  /// the differential-test reference). With a cache but `memoize` off,
+  /// helpers still recompute per call — same arithmetic, same results —
+  /// but fill the cache's reusable fallback buffers instead of
+  /// allocating: that is the engine's use_context_cache = false mode,
+  /// which must stay allocation-free under PARSCHED_AUDIT.
   SchedulerContext(double time, int machines, std::span<const AliveJob> alive,
-                   ContextCache* cache = nullptr)
-      : time_(time), machines_(machines), alive_(alive), cache_(cache) {}
+                   ContextCache* cache = nullptr, bool memoize = true)
+      : time_(time),
+        machines_(machines),
+        alive_(alive),
+        cache_(cache),
+        memoize_(memoize) {}
 
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] int machines() const { return machines_; }
@@ -170,9 +214,12 @@ class SchedulerContext {
   int machines_;
   std::span<const AliveJob> alive_;
   ContextCache* cache_;
-  // Fallback storage backing the returned spans when cache_ == nullptr.
-  // One buffer per helper, so (like the old per-call vectors) the result
-  // of one helper is not clobbered by a call to a different one.
+  bool memoize_ = true;
+  // Fallback storage backing the returned spans when cache_ == nullptr
+  // (contexts built by hand, e.g. differential tests; with a cache the
+  // fill path writes the cache's fb_* buffers instead). One buffer per
+  // helper, so (like the old per-call vectors) the result of one helper
+  // is not clobbered by a call to a different one.
   mutable std::vector<std::size_t> fb_by_remaining_;
   mutable std::vector<std::size_t> fb_smallest_;
   mutable std::vector<std::size_t> fb_by_latest_;

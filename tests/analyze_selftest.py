@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Self-test for tools/parsched_analyze.py.
+
+Plants throwaway trees under a temp dir: a layer back-edge, a
+PARSCHED_HOT body constructing a std::vector, a suppressed allocation,
+and a cyclic spec — asserting each fails (or stays silent) as
+documented. Then runs the analyzer over the real repository tree, which
+must be clean, and schema-checks the JSON / DOT artifacts it emits. Run
+via ctest:
+
+  analyze_selftest.py <path-to-parsched_analyze.py> <repo-root>
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SPEC_TWO_LAYERS = """\
+schema = 1
+[units.util]
+deps = []
+[units.simcore]
+deps = ["util"]
+"""
+
+SPEC_CYCLE = """\
+schema = 1
+[units.util]
+deps = ["simcore"]
+[units.simcore]
+deps = ["util"]
+"""
+
+
+def write(root: Path, rel: str, text: str) -> None:
+    p = root / rel
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text, encoding="utf-8")
+
+
+def run(analyze: Path, root: Path, *extra: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, str(analyze), "--root", str(root), *extra],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print("usage: analyze_selftest.py <parsched_analyze.py> <repo-root>",
+              file=sys.stderr)
+        return 2
+    analyze = Path(sys.argv[1]).resolve()
+    repo = Path(sys.argv[2]).resolve()
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="parsched-analyze-") as tmp:
+        tdir = Path(tmp)
+
+        # 1. A back-edge: util (bottom layer) includes simcore (above it).
+        fx = tdir / "backedge"
+        write(fx, "tools/layers.toml", SPEC_TWO_LAYERS)
+        write(fx, "src/util/mathx.hpp",
+              '#pragma once\n#include "simcore/engine.hpp"\n')
+        write(fx, "src/simcore/engine.hpp",
+              '#pragma once\n#include "util/mathx.hpp"\n')
+        code, out = run(analyze, fx)
+        if code != 1 or "[layer-dag]" not in out or "back-edge" not in out:
+            failures.append(f"back-edge fixture: exit={code}, out={out!r}")
+
+        # 2. A hot function constructing a std::vector in its body.
+        fx = tdir / "hotalloc"
+        write(fx, "tools/layers.toml", SPEC_TWO_LAYERS)
+        write(fx, "src/simcore/engine.cpp",
+              "PARSCHED_HOT void step() {\n"
+              "  std::vector<double> rates(n);\n"
+              "  use(rates);\n"
+              "}\n")
+        code, out = run(analyze, fx)
+        if code != 1 or "[hot-alloc]" not in out:
+            failures.append(f"hot-alloc fixture: exit={code}, out={out!r}")
+
+        # 3. Hot-body constructs that must NOT flag: references into
+        #    member scratch, and a suppressed cold-path allocation.
+        fx = tdir / "hotclean"
+        write(fx, "tools/layers.toml", SPEC_TWO_LAYERS)
+        write(fx, "src/simcore/engine.cpp",
+              "PARSCHED_HOT void step() {\n"
+              "  const std::vector<double>& r = scratch_;\n"
+              "  std::vector<double>* p = &scratch_;\n"
+              "  if (broken) {\n"
+              "    std::ostringstream os;  // lint: alloc-ok (error path)\n"
+              "    throw std::runtime_error(os.str());\n"
+              "  }\n"
+              "}\n")
+        code, out = run(analyze, fx)
+        if code != 0:
+            failures.append(f"suppression fixture: exit={code}, out={out!r}")
+
+        # 4. A cyclic spec is a hard configuration error (exit 2).
+        fx = tdir / "cycle"
+        write(fx, "tools/layers.toml", SPEC_CYCLE)
+        write(fx, "src/util/a.hpp", "#pragma once\n")
+        code, out = run(analyze, fx)
+        if code != 2:
+            failures.append(f"cyclic-spec fixture: exit={code}, out={out!r}")
+
+        # 5. The real tree must be clean, and the artifacts well-formed.
+        dot = tdir / "architecture.dot"
+        js = tdir / "architecture.json"
+        code, out = run(analyze, repo, "--dot", str(dot), "--json", str(js))
+        if code != 0:
+            failures.append(f"real tree not clean: exit={code}, out={out!r}")
+        if not dot.is_file() or "digraph" not in dot.read_text():
+            failures.append("DOT artifact missing or malformed")
+        if not js.is_file():
+            failures.append("JSON artifact missing")
+        else:
+            report = json.loads(js.read_text(encoding="utf-8"))
+            if report.get("schema_version") != 1:
+                failures.append("JSON artifact: bad schema_version")
+            for key in ("units", "edges", "violations", "hot_functions",
+                        "suppressions"):
+                if key not in report:
+                    failures.append(f"JSON artifact: missing '{key}'")
+            if report.get("violations"):
+                failures.append(
+                    f"JSON artifact lists violations: {report['violations']}"
+                )
+            if len(report.get("hot_functions", [])) < 15:
+                failures.append(
+                    "JSON artifact: expected >= 15 hot functions "
+                    f"(engine + policies), got "
+                    f"{len(report.get('hot_functions', []))}"
+                )
+
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    print(f"analyze_selftest: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

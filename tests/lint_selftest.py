@@ -69,6 +69,13 @@ def main() -> int:
               '#pragma GCC poison nothing\n'
               '#include "util/env.hpp"\n'
               "int add(int a, int b) { return a + b; }\n")
+        # Extended scope: tools/parsched_cli.cpp and tests/ are linted.
+        write(root, "tools/parsched_cli.cpp",
+              'std::ofstream out("cli.csv");\n')
+        write(root, "tests/test_scope.cpp",
+              "void f() { assert(true); }\n"       # raw-assert: test-exempt
+              "std::thread t1;\n"                   # raw-thread: fires
+              "std::thread t2;  // lint: thread-ok\n")  # suppressed
 
         findings = run_lint(lint, root)
 
@@ -81,6 +88,8 @@ def main() -> int:
             "floateq_bad.cpp": "[float-eq]",
             "header_bad.hpp": "[pragma-once]",
             "include_bad.cpp": "[include-style]",
+            "parsched_cli.cpp": "[raw-ofstream]",
+            "test_scope.cpp": "[raw-thread]",
         }
         for fname, rule in expected.items():
             hits = [f for f in findings if fname in f and rule in f]
@@ -93,10 +102,35 @@ def main() -> int:
                     if f.split(":", 1)[0].endswith(fname)]
             if hits:
                 failures.append(f"unexpected finding(s) in {fname}: {hits}")
+        # test_scope.cpp: the raw assert and the suppressed thread must
+        # both stay silent — exactly one finding (the bare std::thread).
+        scope_hits = [f for f in findings if "test_scope.cpp" in f]
+        if len(scope_hits) != 1:
+            failures.append(
+                f"test_scope.cpp: expected exactly 1 finding, got "
+                f"{scope_hits}"
+            )
         # thread_bad.cpp appears twice (include + spelling); overall count
         # must not balloon beyond the planted violations.
-        if len(findings) > 12:
+        if len(findings) > 14:
             failures.append(f"too many findings ({len(findings)}): {findings}")
+
+        # Suppression audit: lists the planted hatch, exits 0.
+        proc = subprocess.run(
+            [sys.executable, str(lint), "--root", str(root),
+             "--suppression-audit"],
+            capture_output=True, text=True, check=False,
+        )
+        audit = [l for l in proc.stdout.splitlines() if l.strip()]
+        if proc.returncode != 0:
+            failures.append(
+                f"suppression-audit: exit={proc.returncode}"
+            )
+        if not any("test_scope.cpp:3" in l and "thread-ok" in l
+                   for l in audit):
+            failures.append(
+                f"suppression-audit: planted hatch not listed: {audit}"
+            )
 
     for msg in failures:
         print(f"FAIL: {msg}")

@@ -1,0 +1,258 @@
+// Tests for check/alloc_guard.hpp — the dynamic hot-path allocation
+// verifier — and the engine's PARSCHED_AUDIT=1 fences around its decision
+// steps.
+//
+// The final two tests are the PR's regression proof: a dense-alive
+// n=10'000 instance driven to completion with the audit fences armed
+// performs zero heap allocations across >= 10'000 warm decision steps —
+// once with the ContextCache lent to policies and once with the
+// refimpl-twin fallback path (use_context_cache = false).
+//
+// Every allocation-counting test skips itself when the counting operator
+// new/delete replacement is compiled out (PARSCHED_ALLOC_HOOK=OFF, e.g.
+// under ASan/TSan whose interceptors own the allocator symbols).
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/alloc_guard.hpp"
+#include "check/contract.hpp"
+#include "exec/thread_pool.hpp"
+#include "sched/registry.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/instance.hpp"
+
+namespace parsched {
+namespace {
+
+#define SKIP_WITHOUT_HOOK()                                            \
+  do {                                                                 \
+    if (!alloc_hook_active()) {                                        \
+      GTEST_SKIP() << "PARSCHED_ALLOC_HOOK compiled out (sanitizer "   \
+                      "build); nothing to count";                      \
+    }                                                                  \
+  } while (false)
+
+TEST(AllocGuard, CountsAllocationsWhenUnguarded) {
+  SKIP_WITHOUT_HOOK();
+  const AllocStats before = alloc_stats();
+  {
+    auto p = std::make_unique<std::uint64_t>(42);
+    ASSERT_EQ(*p, 42u);
+  }
+  const AllocStats after = alloc_stats();
+  EXPECT_GE(after.allocations, before.allocations + 1);
+  EXPECT_GE(after.deallocations, before.deallocations + 1);
+  EXPECT_GE(after.bytes, before.bytes + sizeof(std::uint64_t));
+}
+
+// NOTE on style in the trip tests below: while a guard is armed, even
+// the *test harness* must not allocate — a gtest failure message or a
+// std::string built from ex.what() would itself trip the guard. So the
+// armed sections record plain bools (std::strstr, no allocation) and
+// the assertions run after the guard scope closes. Trip attempts call
+// ::operator new directly: a `new int` whose result is unused is an
+// elidable new-expression the optimizer may delete, but direct operator
+// new calls may not be elided.
+TEST(AllocGuard, TripsOnAllocationInGuardedScope) {
+  SKIP_WITHOUT_HOOK();
+  bool tripped = false;
+  bool names_scope = false;
+  bool names_kind = false;
+  bool still_armed_after_catch = false;
+  bool trips_again = false;
+  {
+    AllocGuard guard("trip-test scope");
+    try {
+      std::ignore = ::operator new(16);  // lint: alloc-ok (deliberate trip)
+    } catch (const ContractViolation& ex) {
+      tripped = true;
+      names_scope = std::strstr(ex.what(), "trip-test scope") != nullptr;
+      names_kind = std::strstr(ex.what(), "PARSCHED_ALLOC_GUARD") != nullptr;
+    }
+    // A trip caught inside the guard's scope leaves it armed and
+    // functional for the next offense.
+    still_armed_after_catch = AllocGuard::depth() == 1;
+    try {
+      std::ignore = ::operator new(8);  // lint: alloc-ok (deliberate trip)
+    } catch (const ContractViolation&) {
+      trips_again = true;
+    }
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_TRUE(names_scope);
+  EXPECT_TRUE(names_kind);
+  EXPECT_TRUE(still_armed_after_catch);
+  EXPECT_TRUE(trips_again);
+  EXPECT_EQ(AllocGuard::depth(), 0);
+}
+
+TEST(AllocGuard, SilentOnAllocationFreePath) {
+  SKIP_WITHOUT_HOOK();
+  std::vector<double> scratch(1024, 1.0);  // preallocated outside the guard
+  {
+    AllocGuard guard("allocation-free scope");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      scratch[i] = scratch[i] * 0.5 + 1.0;
+      acc += scratch[i];
+    }
+    ASSERT_GT(acc, 0.0);
+    EXPECT_EQ(guard.observed(), 0u);
+  }
+  EXPECT_EQ(AllocGuard::depth(), 0);
+}
+
+TEST(AllocGuard, NestedGuardsNameTheInnermostScope) {
+  SKIP_WITHOUT_HOOK();
+  int depth_outer = -1;
+  int depth_inner = -1;
+  int depth_after_inner = -1;
+  bool inner_named = false;
+  bool outer_named = false;
+  {
+    AllocGuard outer("outer scope");
+    depth_outer = AllocGuard::depth();
+    {
+      AllocGuard inner("inner scope");
+      depth_inner = AllocGuard::depth();
+      try {
+        std::ignore = ::operator new(16);  // lint: alloc-ok (deliberate)
+      } catch (const ContractViolation& ex) {
+        inner_named = std::strstr(ex.what(), "inner scope") != nullptr;
+      }
+    }
+    // The inner guard's exit re-exposes the outer one.
+    depth_after_inner = AllocGuard::depth();
+    try {
+      std::ignore = ::operator new(16);  // lint: alloc-ok (deliberate)
+    } catch (const ContractViolation& ex) {
+      outer_named = std::strstr(ex.what(), "outer scope") != nullptr;
+    }
+  }
+  EXPECT_EQ(depth_outer, 1);
+  EXPECT_EQ(depth_inner, 2);
+  EXPECT_EQ(depth_after_inner, 1);
+  EXPECT_TRUE(inner_named);
+  EXPECT_TRUE(outer_named);
+  EXPECT_EQ(AllocGuard::depth(), 0);
+}
+
+TEST(AllocGuard, LogPolicyCountsInsteadOfThrowing) {
+  SKIP_WITHOUT_HOOK();
+  ScopedContractPolicy log_policy(ContractPolicy::kLog);
+  AllocGuard guard("log-policy scope");
+  auto p = std::make_unique<int>(7);  // counted, logged, not thrown
+  ASSERT_EQ(*p, 7);
+  EXPECT_GE(guard.observed(), 1u);
+}
+
+TEST(AllocGuard, ScopesEnteredCounterIsMonotone) {
+  const std::uint64_t before = alloc_guard_scopes_entered();
+  {
+    AllocGuard a("one");
+    AllocGuard b("two");
+  }
+  { AllocGuard c("three"); }
+  EXPECT_EQ(alloc_guard_scopes_entered(), before + 3);
+}
+
+// A guard constrains only the thread that armed it: ThreadPool workers
+// allocate freely under a main-thread guard, and a worker-armed guard
+// trips on the worker without involving the main thread.
+TEST(AllocGuard, GuardsAreThreadLocalUnderThreadPool) {
+  SKIP_WITHOUT_HOOK();
+  exec::ThreadPool pool(exec::ThreadPool::Config{2});
+  std::atomic<bool> go{false};
+  std::atomic<bool> worker_allocated{false};
+  // Submitted before the guard arms: submit() itself allocates.
+  auto free_worker = pool.submit([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto p = std::make_unique<int>(i);
+      if (*p == 63) worker_allocated.store(true, std::memory_order_release);
+    }
+  });
+  auto guarded_worker = pool.submit([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    AllocGuard worker_guard("worker-armed scope");
+    try {
+      std::ignore = ::operator new(16);  // lint: alloc-ok (deliberate)
+      return false;                      // did not trip
+    } catch (const ContractViolation&) {
+      return true;
+    }
+  });
+  {
+    AllocGuard main_guard("main-thread scope");
+    go.store(true, std::memory_order_release);
+    // Busy-wait allocation-free while both workers run against the
+    // armed main-thread guard.
+    while (!worker_allocated.load(std::memory_order_acquire)) {
+    }
+    EXPECT_EQ(main_guard.observed(), 0u);
+  }
+  free_worker.get();
+  EXPECT_TRUE(guarded_worker.get());
+}
+
+// ---------------------------------------------------------------------------
+// Engine regression: the audited decision loop is allocation-free.
+
+Instance dense_alive_instance(std::size_t n) {
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Job j;
+    j.id = static_cast<JobId>(i);
+    j.release = 0.0;
+    j.size = 1.0 + static_cast<double>((i * 7919u) % 99991u) / 99991.0;
+    j.curve = SpeedupCurve::power_law(0.5);
+    jobs.push_back(j);
+  }
+  return Instance(16, jobs);
+}
+
+/// Drives the dense-alive instance to completion with the audit fences
+/// armed; any allocation in a warm decision step throws ContractViolation
+/// and fails the test. Returns the number of guarded scopes entered.
+std::uint64_t run_audited(bool use_cache) {
+  setenv("PARSCHED_AUDIT", "1", 1);
+  const std::uint64_t scopes_before = alloc_guard_scopes_entered();
+  const Instance inst = dense_alive_instance(10'000);
+  auto sched = make_scheduler("isrpt");
+  EngineConfig cfg;
+  cfg.use_context_cache = use_cache;
+  const SimResult r = simulate(inst, *sched, cfg);
+  unsetenv("PARSCHED_AUDIT");
+  EXPECT_EQ(r.jobs(), 10'000u);
+  // Every completion is a decision point: >= 10k decision steps, and all
+  // but the first (which warms the scratch at full n) run fenced — two
+  // guarded scopes each (allocate+rates, advance sweep).
+  EXPECT_GE(r.decisions, 10'000u);
+  return alloc_guard_scopes_entered() - scopes_before;
+}
+
+TEST(EngineAllocAudit, DenseAliveRunIsAllocationFreeWithContextCache) {
+  SKIP_WITHOUT_HOOK();
+  const std::uint64_t scopes = run_audited(/*use_cache=*/true);
+  EXPECT_GE(scopes, 10'000u);
+}
+
+TEST(EngineAllocAudit, DenseAliveRunIsAllocationFreeWithFallbackPath) {
+  SKIP_WITHOUT_HOOK();
+  const std::uint64_t scopes = run_audited(/*use_cache=*/false);
+  EXPECT_GE(scopes, 10'000u);
+}
+
+}  // namespace
+}  // namespace parsched

@@ -23,7 +23,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <thread>
+#include <thread>  // lint: thread-ok
 #include <vector>
 
 #include "exec/sweep.hpp"
@@ -373,7 +373,7 @@ TEST(ThreadPool, StressProducersNestingAndStealing) {
 
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 200;
-  std::vector<std::thread> producers;
+  std::vector<std::thread> producers;  // lint: thread-ok
   producers.reserve(kProducers);
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&pool, &executed, p] {
@@ -447,7 +447,7 @@ TEST(ThreadPool, ShutdownWithoutDrainBreaksPendingPromises) {
     }));
   }
 
-  std::thread closer([&pool] { pool.shutdown(false); });
+  std::thread closer([&pool] { pool.shutdown(false); });  // lint: thread-ok
   // shutdown(false) closes the front door and freezes the task scan in
   // one critical section; once a submit throws, the backlog is sealed.
   for (;;) {
@@ -479,7 +479,7 @@ TEST(ThreadPool, ConcurrentShutdownCallsAreSafe) {
       (void)pool.submit(
           [&done] { done.fetch_add(1, std::memory_order_relaxed); });
     }
-    std::thread racer([&pool] { pool.shutdown(true); });
+    std::thread racer([&pool] { pool.shutdown(true); });  // lint: thread-ok
     pool.shutdown(true);
     racer.join();
     EXPECT_EQ(done.load(), 32);

@@ -8,7 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
+#include <thread>  // lint: thread-ok
 
 #include "analysis/trace.hpp"
 #include "obs/json.hpp"
@@ -105,7 +105,7 @@ TEST(Metrics, ThreadSafeUnderConcurrentUse) {
   obs::MetricsRegistry reg;
   constexpr int kThreads = 4;
   constexpr int kIters = 5000;
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // lint: thread-ok
   threads.reserve(kThreads);
   for (int w = 0; w < kThreads; ++w) {
     threads.emplace_back([&reg, w] {
@@ -117,7 +117,7 @@ TEST(Metrics, ThreadSafeUnderConcurrentUse) {
       }
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (std::thread& t : threads) t.join();  // lint: thread-ok
   const auto snap = reg.snapshot();
   EXPECT_DOUBLE_EQ(snap.find("shared")->value, kThreads * kIters);
   EXPECT_EQ(snap.find("lat")->histogram.total,

@@ -24,7 +24,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <thread>
+#include <thread>  // lint: thread-ok
 #include <vector>
 
 #include "obs/json.hpp"
@@ -582,7 +582,7 @@ TEST(Server, StrandSerializesOpsPerSession) {
   }
 
   std::atomic<bool> overlap{false};
-  std::vector<std::thread> producers;
+  std::vector<std::thread> producers;  // lint: thread-ok
   producers.reserve(kProducers);
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
@@ -802,7 +802,7 @@ TEST(Transport, SocketSoakWithLoadgen) {
   const std::string path = testing::TempDir() + "serve_soak.sock";
   obs::MetricsRegistry server_reg;
   serve::ProtocolHandler handler(server_config(4, 6, 32, &server_reg));
-  std::thread server_thread(
+  std::thread server_thread(  // lint: thread-ok
       [&handler, &path] { serve::serve_unix_socket(handler, path); });
 
   obs::MetricsRegistry client_reg;
@@ -836,7 +836,7 @@ TEST(Transport, SocketSoakWithLoadgen) {
 TEST(Transport, LoadgenTotalsAreDeterministic) {
   auto run_once = [](const std::string& path) {
     serve::ProtocolHandler handler(server_config(2, 8, 32, nullptr));
-    std::thread server_thread(
+    std::thread server_thread(  // lint: thread-ok
         [&handler, &path] { serve::serve_unix_socket(handler, path); });
     serve::LoadgenConfig cfg;
     cfg.socket_path = path;

@@ -1,0 +1,539 @@
+#!/usr/bin/env python3
+"""parsched_analyze — architecture-DAG enforcement + hot-path allocation
+scan for the parsched codebase.
+
+Two checks, both driven from checked-in ground truth:
+
+  layer-dag    Every project `#include` under src/ is an edge in the
+               subsystem dependency graph. Each file belongs to a *unit*
+               (its subsystem directory by default; tools/layers.toml may
+               override single files, e.g. check/contract.hpp into the
+               dependency-free `check_core`). The spec declares each
+               unit's direct dependencies; an include edge is sanctioned
+               iff its target unit is reachable through the declared DAG
+               (a layer may use everything below it). Back-edges, cycles
+               in the spec itself, and files or includes outside the
+               spec's units all fail the run.
+
+  hot-alloc    Function definitions annotated PARSCHED_HOT (see
+               check/contract.hpp) run inside the engine's steady-state
+               decision loop and must not allocate. Their bodies are
+               scanned for spelled allocation constructs: `new`,
+               std::make_unique / make_shared, std::function<...>,
+               container construction (std::vector<...> v, temporaries),
+               and string building (std::string(...), std::to_string,
+               std::ostringstream / stringstream). A justified cold-path
+               allocation — e.g. building the message for an error
+               throw — is suppressed with `// lint: alloc-ok` on the
+               same or preceding line; the runtime twin of this check is
+               check/alloc_guard.hpp under PARSCHED_AUDIT=1.
+
+The analyzer also emits the architecture report CI archives:
+
+  --dot FILE    Graphviz digraph of the observed unit graph (violating
+                edges red and bold).
+  --json FILE   machine-readable report (schema below, self-validated
+                before writing).
+
+Exit status: 0 clean, 1 any violation, 2 spec/usage error. Findings are
+printed as `file:line: [rule] message` so editors and CI annotate them.
+
+Usage:
+  tools/parsched_analyze.py [--root DIR] [--spec FILE]
+                            [--dot FILE] [--json FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import tomllib
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+RE_PROJECT_INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_STRING = re.compile(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'')
+
+SUPPRESS_ALLOC = "lint: alloc-ok"
+
+# Spelled allocation constructs banned inside PARSCHED_HOT bodies. Each
+# entry: (name, regex, needs_angle_check). With needs_angle_check the
+# match is only a finding when the template argument list is followed by
+# something other than `&`, `*` or `::` — i.e. a declaration or
+# temporary, not a reference/pointer binding or a nested-type spelling.
+BANNED = [
+    ("operator new", re.compile(r"(?<![\w:])new\b(?!\s*\()"), False),
+    ("std::make_unique/make_shared",
+     re.compile(r"\bstd\s*::\s*make_(?:unique|shared)\b"), False),
+    ("std::function", re.compile(r"\bstd\s*::\s*function\s*<"), True),
+    ("string building",
+     re.compile(r"\bstd\s*::\s*(?:ostringstream|stringstream|to_string)\b"),
+     False),
+    ("std::string construction",
+     re.compile(r"\bstd\s*::\s*string\s*[({]"), False),
+    ("container construction",
+     re.compile(
+         r"\bstd\s*::\s*(?:vector|deque|list|forward_list|map|multimap|"
+         r"set|multiset|unordered_map|unordered_multimap|unordered_set|"
+         r"unordered_multiset)\s*<"
+     ),
+     True),
+]
+
+
+def fatal(msg: str) -> None:
+    print(f"parsched_analyze: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+# ---------------------------------------------------------------------------
+# Spec
+
+
+class Spec:
+    """The sanctioned unit DAG from tools/layers.toml."""
+
+    def __init__(self, deps: dict[str, list[str]],
+                 overrides: dict[str, str]) -> None:
+        self.deps = deps
+        self.overrides = overrides
+        self.reachable = self._close()
+
+    @staticmethod
+    def load(path: Path) -> "Spec":
+        try:
+            data = tomllib.loads(path.read_text(encoding="utf-8"))
+        except (OSError, tomllib.TOMLDecodeError) as exc:
+            fatal(f"cannot read spec {path}: {exc}")
+        units = data.get("units")
+        if not isinstance(units, dict) or not units:
+            fatal(f"{path}: no [units.*] tables")
+        deps: dict[str, list[str]] = {}
+        for name, table in units.items():
+            d = table.get("deps")
+            if not isinstance(d, list) or not all(
+                isinstance(x, str) for x in d
+            ):
+                fatal(f"{path}: units.{name}.deps must be a string list")
+            deps[name] = d
+        for name, d in deps.items():
+            for dep in d:
+                if dep not in deps:
+                    fatal(f"{path}: units.{name} depends on unknown "
+                          f"unit '{dep}'")
+        overrides = data.get("overrides", {})
+        if not isinstance(overrides, dict):
+            fatal(f"{path}: [overrides] must be a table")
+        for rel, unit in overrides.items():
+            if unit not in deps:
+                fatal(f"{path}: override '{rel}' names unknown unit "
+                      f"'{unit}'")
+        return Spec(deps, dict(overrides))
+
+    def _close(self) -> dict[str, set[str]]:
+        """Transitive closure of the declared deps; fatal on a cycle."""
+        color: dict[str, int] = {}  # 0 visiting, 1 done
+        reach: dict[str, set[str]] = {}
+
+        def visit(u: str, stack: list[str]) -> None:
+            if color.get(u) == 1:
+                return
+            if color.get(u) == 0:
+                cycle = stack[stack.index(u):] + [u]
+                fatal("dependency cycle in spec: " + " -> ".join(cycle))
+            color[u] = 0
+            acc: set[str] = set()
+            for v in self.deps[u]:
+                visit(v, stack + [u])
+                acc.add(v)
+                acc |= reach[v]
+            reach[u] = acc
+            color[u] = 1
+
+        for u in self.deps:
+            visit(u, [])
+        return reach
+
+    def unit_of(self, rel: str) -> str | None:
+        """Unit of a src/-relative path, or None if outside the spec."""
+        if rel in self.overrides:
+            return self.overrides[rel]
+        head = rel.split("/", 1)[0]
+        return head if head in self.deps else None
+
+
+# ---------------------------------------------------------------------------
+# Layer-DAG check
+
+
+def check_layers(root: Path, spec: Spec, findings: list[dict]) -> tuple[
+        list[Path], dict[str, list[str]], dict[tuple[str, str], int]]:
+    """Scan src/ includes; returns (files, unit->files, edge->count)."""
+    src = root / "src"
+    if not src.is_dir():
+        fatal(f"no src/ directory under {root}")
+    files = [f for f in sorted(src.rglob("*"))
+             if f.suffix in SOURCE_SUFFIXES]
+    unit_files: dict[str, list[str]] = {u: [] for u in spec.deps}
+    edges: dict[tuple[str, str], int] = {}
+
+    for f in files:
+        rel = f.relative_to(src).as_posix()
+        unit = spec.unit_of(rel)
+        if unit is None:
+            findings.append({
+                "file": f"src/{rel}", "line": 1, "rule": "layer-dag",
+                "message": f"file belongs to no unit in the spec "
+                           f"(directory '{rel.split('/', 1)[0]}' not "
+                           "declared in tools/layers.toml)",
+            })
+            continue
+        unit_files[unit].append(rel)
+        for lineno, line in enumerate(
+            f.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            m = RE_PROJECT_INCLUDE.match(line)
+            if not m:
+                continue
+            target = m.group(1)
+            tunit = spec.unit_of(target)
+            if tunit is None:
+                findings.append({
+                    "file": f"src/{rel}", "line": lineno,
+                    "rule": "layer-dag",
+                    "message": f'include "{target}" resolves to no unit '
+                               "in the spec",
+                })
+                continue
+            if tunit != unit:
+                edges[(unit, tunit)] = edges.get((unit, tunit), 0) + 1
+            if tunit != unit and tunit not in spec.reachable[unit]:
+                findings.append({
+                    "file": f"src/{rel}", "line": lineno,
+                    "rule": "layer-dag",
+                    "message": f'include "{target}" is a back-edge: unit '
+                               f"'{unit}' may not depend on '{tunit}' "
+                               f"(declared deps: "
+                               f"{sorted(spec.deps[unit]) or ['<none>']})",
+                })
+    return files, unit_files, edges
+
+
+# ---------------------------------------------------------------------------
+# PARSCHED_HOT allocation scan
+
+
+def strip_code(text: str) -> str:
+    """Blank comments and string literals, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append(
+                "".join("\n" if ch == "\n" else " " for ch in text[i:end])
+            )
+            i = end
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def match_angles(code: str, start: int) -> int:
+    """Index just past the '>' closing the '<' at `start`; -1 if none."""
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == "<":
+            depth += 1
+        elif code[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def body_span(code: str, start: int) -> tuple[int, int] | None:
+    """(open, close) offsets of the function body following `start`.
+
+    Skips one balanced parameter list, then takes the first top-level
+    '{'; gives up at a ';' seen at depth 0 (declaration, not
+    definition).
+    """
+    depth = 0
+    i = start
+    while i < len(code):
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == "{" and depth == 0:
+            open_ = i
+            b = 0
+            for j in range(open_, len(code)):
+                if code[j] == "{":
+                    b += 1
+                elif code[j] == "}":
+                    b -= 1
+                    if b == 0:
+                        return open_, j
+            return None
+        elif c == ";" and depth == 0:
+            return None
+        i += 1
+    return None
+
+
+def line_of(offsets: list[int], pos: int) -> int:
+    """1-based line number of character offset `pos`."""
+    lo, hi = 0, len(offsets) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if offsets[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def suppressed(raw_lines: list[str], lineno: int) -> bool:
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines) and SUPPRESS_ALLOC in raw_lines[ln - 1]:
+            return True
+    return False
+
+
+def scan_hot(files: list[Path], root: Path, findings: list[dict],
+             hot_functions: list[dict],
+             suppressions_used: list[dict]) -> None:
+    for f in files:
+        rel = f.relative_to(root).as_posix()
+        if rel.endswith("check/contract.hpp"):
+            continue  # the macro's own definition
+        text = f.read_text(encoding="utf-8")
+        if "PARSCHED_HOT" not in text:
+            continue
+        raw_lines = text.splitlines()
+        code = strip_code(text)
+        offsets = [0]
+        for idx, ch in enumerate(code):
+            if ch == "\n":
+                offsets.append(idx + 1)
+        for m in re.finditer(r"\bPARSCHED_HOT\b", code):
+            lineno = line_of(offsets, m.start())
+            span = body_span(code, m.end())
+            if span is None:
+                findings.append({
+                    "file": rel, "line": lineno, "rule": "hot-alloc",
+                    "message": "PARSCHED_HOT must annotate a function "
+                               "*definition* (no body found)",
+                })
+                continue
+            open_, close = span
+            sig = " ".join(code[m.end():open_].split())
+            hot_functions.append(
+                {"file": rel, "line": lineno, "signature": sig[:120]}
+            )
+            body = code[open_:close]
+            for name, rx, angle in BANNED:
+                for hit in rx.finditer(body):
+                    pos = open_ + hit.start()
+                    if angle:
+                        past = match_angles(code, open_ + hit.end() - 1)
+                        if past < 0:
+                            continue
+                        tail = code[past:past + 2].lstrip()
+                        if tail[:1] in ("&", "*") or tail[:2] == "::":
+                            continue  # reference/pointer/nested type
+                    hline = line_of(offsets, pos)
+                    if suppressed(raw_lines, hline):
+                        suppressions_used.append(
+                            {"file": rel, "line": hline, "construct": name}
+                        )
+                        continue
+                    findings.append({
+                        "file": rel, "line": hline, "rule": "hot-alloc",
+                        "message": f"{name} inside a PARSCHED_HOT body; "
+                                   "hoist to warm-up / member scratch or "
+                                   f"annotate '// {SUPPRESS_ALLOC}'",
+                    })
+
+
+# ---------------------------------------------------------------------------
+# Report
+
+
+def build_report(root: Path, spec: Spec, files: list[Path],
+                 unit_files: dict[str, list[str]],
+                 edges: dict[tuple[str, str], int],
+                 findings: list[dict], hot_functions: list[dict],
+                 suppressions_used: list[dict]) -> dict:
+    return {
+        "schema_version": 1,
+        "tool": "parsched_analyze",
+        "root": root.name,
+        "files_scanned": len(files),
+        "units": {
+            u: {
+                "deps": sorted(spec.deps[u]),
+                "reachable": sorted(spec.reachable[u]),
+                "files": len(unit_files.get(u, [])),
+            }
+            for u in sorted(spec.deps)
+        },
+        "edges": [
+            {
+                "from": u, "to": v, "includes": c,
+                "sanctioned": v in spec.reachable[u],
+            }
+            for (u, v), c in sorted(edges.items())
+        ],
+        "violations": findings,
+        "hot_functions": hot_functions,
+        "suppressions": suppressions_used,
+    }
+
+
+def validate_report(report: dict) -> list[str]:
+    """Schema self-check; returns a list of problems (empty = valid)."""
+    errs: list[str] = []
+
+    def need(obj: dict, key: str, typ: type, where: str) -> object:
+        if key not in obj:
+            errs.append(f"{where}: missing key '{key}'")
+            return None
+        if not isinstance(obj[key], typ):
+            errs.append(f"{where}.{key}: expected {typ.__name__}, got "
+                        f"{type(obj[key]).__name__}")
+            return None
+        return obj[key]
+
+    if need(report, "schema_version", int, "report") != 1:
+        errs.append("report.schema_version: expected 1")
+    need(report, "tool", str, "report")
+    need(report, "root", str, "report")
+    need(report, "files_scanned", int, "report")
+    units = need(report, "units", dict, "report")
+    if isinstance(units, dict):
+        for name, u in units.items():
+            if not isinstance(u, dict):
+                errs.append(f"units.{name}: expected object")
+                continue
+            need(u, "deps", list, f"units.{name}")
+            need(u, "reachable", list, f"units.{name}")
+            need(u, "files", int, f"units.{name}")
+    for key, fields in (
+        ("edges", {"from": str, "to": str, "includes": int,
+                   "sanctioned": bool}),
+        ("violations", {"file": str, "line": int, "rule": str,
+                        "message": str}),
+        ("hot_functions", {"file": str, "line": int, "signature": str}),
+        ("suppressions", {"file": str, "line": int, "construct": str}),
+    ):
+        rows = need(report, key, list, "report")
+        if not isinstance(rows, list):
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                errs.append(f"{key}[{i}]: expected object")
+                continue
+            for fkey, ftyp in fields.items():
+                need(row, fkey, ftyp, f"{key}[{i}]")
+    return errs
+
+
+def write_dot(path: Path, spec: Spec,
+              edges: dict[tuple[str, str], int]) -> None:
+    lines = [
+        "// Generated by tools/parsched_analyze.py — observed include",
+        "// graph over the units of tools/layers.toml.",
+        "digraph parsched_layers {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    for u in sorted(spec.deps):
+        lines.append(f'  "{u}";')
+    for (u, v), c in sorted(edges.items()):
+        ok = v in spec.reachable[u]
+        attrs = f'label="{c}"'
+        if not ok:
+            attrs += ", color=red, penwidth=2"
+        lines.append(f'  "{u}" -> "{v}" [{attrs}];')
+    lines.append("}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = Path(__file__).resolve().parent.parent
+    ap.add_argument("--root", default=str(default_root),
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--spec", default=None,
+                    help="layer spec (default: <root>/tools/layers.toml)")
+    ap.add_argument("--dot", default=None, metavar="FILE",
+                    help="write a Graphviz digraph of the unit graph")
+    ap.add_argument("--json", default=None, metavar="FILE",
+                    help="write the machine-readable architecture report")
+    args = ap.parse_args()
+
+    root = Path(args.root).resolve()
+    spec_path = (Path(args.spec) if args.spec
+                 else root / "tools" / "layers.toml")
+    spec = Spec.load(spec_path)
+
+    findings: list[dict] = []
+    hot_functions: list[dict] = []
+    suppressions_used: list[dict] = []
+    files, unit_files, edges = check_layers(root, spec, findings)
+    scan_hot(files, root, findings, hot_functions, suppressions_used)
+    findings.sort(key=lambda v: (v["file"], v["line"]))
+
+    report = build_report(root, spec, files, unit_files, edges, findings,
+                          hot_functions, suppressions_used)
+    schema_errs = validate_report(report)
+    if schema_errs:
+        for e in schema_errs:
+            print(f"parsched_analyze: internal schema error: {e}",
+                  file=sys.stderr)
+        return 2
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.dot:
+        write_dot(Path(args.dot), spec, edges)
+
+    for v in findings:
+        print(f'{v["file"]}:{v["line"]}: [{v["rule"]}] {v["message"]}')
+    print(
+        f"parsched_analyze: {len(files)} files, "
+        f"{sum(edges.values())} cross-unit includes, "
+        f"{len(hot_functions)} hot function(s), "
+        f"{len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
