@@ -1,0 +1,80 @@
+#include "obs/expose.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace parsched::obs {
+namespace {
+
+bool name_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+void write_histogram(std::ostream& os, const std::string& name,
+                     const HistogramData& h) {
+  os << "# TYPE " << name << " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += i < h.counts.size() ? h.counts[i] : 0;
+    os << name << "_bucket{le=\"" << json_number(h.bounds[i]) << "\"} "
+       << cumulative << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << h.total << "\n";
+  os << name << "_sum " << json_number(h.sum) << "\n";
+  os << name << "_count " << h.total << "\n";
+  const HistogramData::Summary s = h.summary();
+  os << name << "{quantile=\"0.5\"} " << json_number(s.p50) << "\n";
+  os << name << "{quantile=\"0.9\"} " << json_number(s.p90) << "\n";
+  os << name << "{quantile=\"0.99\"} " << json_number(s.p99) << "\n";
+}
+
+}  // namespace
+
+std::string exposition_name(const std::string& metric) {
+  std::string out = "parsched_";
+  out.reserve(out.size() + metric.size());
+  for (const char c : metric) {
+    out += name_char_ok(c) ? c : '_';
+  }
+  return out;
+}
+
+void write_exposition(std::ostream& os, const MetricsSnapshot& snap) {
+  // snap.samples is sorted by name (MetricsRegistry::snapshot), so the
+  // exposition is byte-stable for a given snapshot.
+  for (const MetricSample& s : snap.samples) {
+    const std::string name = exposition_name(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << json_number(s.value) << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << json_number(s.value) << "\n";
+        break;
+      case MetricSample::Kind::kTimer:
+        // Accumulated seconds over N calls: the natural fit is the
+        // summary _sum/_count pair (quantiles unknowable from a
+        // TimerStat).
+        os << "# TYPE " << name << "_seconds summary\n";
+        os << name << "_seconds_sum " << json_number(s.value) << "\n";
+        os << name << "_seconds_count " << s.count << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        write_histogram(os, name, s.histogram);
+        break;
+    }
+  }
+}
+
+std::string exposition_text(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  write_exposition(os, snap);
+  return os.str();
+}
+
+}  // namespace parsched::obs

@@ -1,0 +1,51 @@
+// parsched — Prometheus-style text exposition of a metrics snapshot.
+//
+// Observability pillar 3 (see docs/API.md §obs/): the live telemetry
+// surface. exposition_text() renders a MetricsSnapshot in the Prometheus
+// text format (version 0.0.4), which is what the serve protocol's
+// `stats` verb returns and what `parsched serve --stats-interval` dumps
+// alongside the JSONL snapshots:
+//
+//   # TYPE parsched_serve_requests counter
+//   parsched_serve_requests 128
+//   # TYPE parsched_serve_client_latency_ms histogram
+//   parsched_serve_client_latency_ms_bucket{le="0.05"} 3
+//   ...
+//   parsched_serve_client_latency_ms_bucket{le="+Inf"} 40
+//   parsched_serve_client_latency_ms_sum 55.25
+//   parsched_serve_client_latency_ms_count 40
+//   parsched_serve_client_latency_ms{quantile="0.5"} 1.05
+//
+// Mapping rules (all deterministic — the golden test in tests/test_obs.cpp
+// pins the byte order):
+//   * Metric names are prefixed "parsched_" and every character outside
+//     [a-zA-Z0-9_] becomes '_' ("serve.requests" ->
+//     "parsched_serve_requests").
+//   * MetricsSnapshot is already name-sorted, so output order is stable.
+//   * Counters/gauges map 1:1. TimerStats become a summary-style
+//     _sum/_count pair (accumulated seconds + call count). Histograms
+//     emit cumulative _bucket{le=...} lines, _sum, _count, and
+//     interpolated p50/p90/p99 as {quantile=...} lines (see
+//     HistogramData::quantile).
+//   * Numbers render as shortest round-trip decimals (obs::json_number);
+//     NaN/Inf never occur in well-formed instruments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace parsched::obs {
+
+/// "serve.requests" -> "parsched_serve_requests" (prefix + sanitize).
+[[nodiscard]] std::string exposition_name(const std::string& metric);
+
+/// Stream `snap` as Prometheus text exposition. Deterministic for a
+/// given snapshot.
+void write_exposition(std::ostream& os, const MetricsSnapshot& snap);
+
+/// write_exposition into a string.
+[[nodiscard]] std::string exposition_text(const MetricsSnapshot& snap);
+
+}  // namespace parsched::obs

@@ -27,6 +27,36 @@ void HistogramData::add(double value) {
   sum += value;
 }
 
+double HistogramData::quantile(double q) const {
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, in [0, total]. q = 0 lands on the
+  // lower edge of the first populated bucket; q = 1 on the upper edge of
+  // the last.
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts[i];
+    if (static_cast<double>(seen) < target) continue;
+    if (i == bounds.size()) {
+      // Overflow bucket: unbounded above, so saturate at the last finite
+      // bound rather than invent an upper edge.
+      return bounds.back();
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+    const double frac = (target - before) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds.back();  // unreachable when counts are consistent with total
+}
+
+HistogramData::Summary HistogramData::summary() const {
+  return Summary{quantile(0.5), quantile(0.9), quantile(0.99)};
+}
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
       counts_(bounds_.size() + 1) {
@@ -38,7 +68,6 @@ void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
       1, std::memory_order_relaxed);
-  total_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
@@ -50,18 +79,24 @@ void Histogram::merge(const HistogramData& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i].fetch_add(other.counts[i], std::memory_order_relaxed);
   }
-  total_.fetch_add(other.total, std::memory_order_relaxed);
   sum_.fetch_add(other.sum, std::memory_order_relaxed);
 }
 
 HistogramData Histogram::snapshot() const {
+  // There is deliberately no separate total counter: deriving `total`
+  // from the bucket counts read in this very pass keeps a concurrent
+  // snapshot internally consistent (sum(counts) == total always holds),
+  // where loading an independently-updated atomic could observe a count
+  // the buckets don't yet reflect (the torn-read window a live `stats`
+  // scrape would hit).
   HistogramData d;
   d.bounds = bounds_;
   d.counts.reserve(counts_.size());
   for (const auto& c : counts_) {
-    d.counts.push_back(c.load(std::memory_order_relaxed));
+    const std::uint64_t n = c.load(std::memory_order_relaxed);
+    d.counts.push_back(n);
+    d.total += n;
   }
-  d.total = total_.load(std::memory_order_relaxed);
   d.sum = sum_.load(std::memory_order_relaxed);
   return d;
 }

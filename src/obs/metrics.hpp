@@ -55,6 +55,23 @@ struct HistogramData {
   [[nodiscard]] double mean() const {
     return total == 0 ? 0.0 : sum / static_cast<double>(total);
   }
+
+  /// Quantile estimate by linear interpolation inside the owning bucket
+  /// (the Prometheus histogram_quantile convention). `q` is clamped to
+  /// [0, 1]. The first bucket's lower edge is min(0, bounds[0]) so
+  /// nonnegative-valued histograms interpolate from zero; observations in
+  /// the +inf overflow bucket report the last finite bound (the estimate
+  /// saturates — it cannot exceed what the buckets resolve). An empty
+  /// histogram reports 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// The three tail points every latency table wants.
+  struct Summary {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] Summary summary() const;
 };
 
 /// Monotone event counter.
@@ -118,12 +135,19 @@ class Histogram {
   /// Fold in a captured histogram with identical bounds (registry
   /// merging); throws std::logic_error on a bucket mismatch.
   void merge(const HistogramData& other);
+  /// Internally consistent capture: `total` is derived from the summed
+  /// bucket counts (never read from a separate atomic), so a snapshot
+  /// taken mid-observe from another thread still satisfies
+  /// sum(counts) == total. `sum` may trail by in-flight observations —
+  /// it is a statistic, not an invariant.
   [[nodiscard]] HistogramData snapshot() const;
+  /// Convenience: quantile of a fresh snapshot (see
+  /// HistogramData::quantile).
+  [[nodiscard]] double quantile(double q) const { return snapshot().quantile(q); }
 
  private:
   std::vector<double> bounds_;
   std::deque<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
-  std::atomic<std::uint64_t> total_{0};
   std::atomic<double> sum_{0.0};
 };
 

@@ -76,6 +76,12 @@ void write_histogram(JsonWriter& w, const HistogramData& h) {
   w.end_array();
   w.kv("total", h.total);
   w.kv("sum", h.sum);
+  // The schema-2 addition: bucket-interpolated tail quantiles, so report
+  // consumers get p50/p90/p99 without re-deriving them from the buckets.
+  const HistogramData::Summary s = h.summary();
+  w.kv("p50", s.p50);
+  w.kv("p90", s.p90);
+  w.kv("p99", s.p99);
   w.end_object();
 }
 
@@ -140,11 +146,38 @@ void write_metric(JsonWriter& w, const MetricSample& s) {
 
 }  // namespace
 
+std::string metrics_snapshot_header(double interval_seconds) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("ev", "header");
+  w.kv("kind", "parsched-metrics-snapshot");
+  w.kv("schema", std::int64_t{1});
+  w.kv("interval_seconds", interval_seconds);
+  w.end_object();
+  return os.str();
+}
+
+std::string metrics_snapshot_line(const MetricsSnapshot& snap,
+                                  std::uint64_t seq, double t) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("ev", "snapshot");
+  w.kv("seq", seq);
+  w.kv("t", t);
+  w.key("metrics").begin_array();
+  for (const MetricSample& s : snap.samples) write_metric(w, s);
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
 std::string BenchReport::to_json() const {
   std::ostringstream os;
   JsonWriter w(os, 2);
   w.begin_object();
-  w.kv("schema", std::int64_t{1});
+  w.kv("schema", std::int64_t{2});
   w.kv("kind", "parsched-bench-report");
   w.kv("name", name_);
   w.key("meta").begin_object();

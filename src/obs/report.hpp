@@ -7,7 +7,7 @@
 // them to a stable versioned JSON schema:
 //
 //   {
-//     "schema": 1,
+//     "schema": 2,
 //     "kind": "parsched-bench-report",
 //     "name": "<bench slug>",
 //     "meta": { "<key>": "<string>" | <number>, ... },
@@ -22,7 +22,12 @@
 //   }
 //
 // A histogram serializes as {"bounds": [...], "counts": [...],
-// "total": n, "sum": x}; counts has one trailing +inf bucket.
+// "total": n, "sum": x, "p50": q, "p90": q, "p99": q}; counts has one
+// trailing +inf bucket and the quantiles are the bucket-interpolated
+// estimates of HistogramData::summary(). (Schema history: 1 had no
+// quantile keys — the version bump to 2 is exactly their addition, so a
+// schema-2 reader can still consume schema-1 payloads by treating the
+// quantiles as absent.)
 //
 // Reporting is opt-in via the environment (PARSCHED_REPORT=1); benches
 // call report_enabled() / report_path("<slug>") and write
@@ -53,6 +58,20 @@ namespace parsched::obs {
 /// parents included, if missing), else the current directory. Throws
 /// std::runtime_error when the directory cannot be created.
 [[nodiscard]] std::string report_path(const std::string& slug);
+
+/// JSONL metrics-snapshot stream (the `parsched serve --stats-interval`
+/// payload; tools/validate_report.py knows the shape). The stream is one
+/// header line followed by one snapshot line per scrape:
+///
+///   {"ev": "header", "kind": "parsched-metrics-snapshot", "schema": 1,
+///    "interval_seconds": 2.5}
+///   {"ev": "snapshot", "seq": 0, "t": <monotonic_seconds>,
+///    "metrics": [ { "name": ..., "kind": ..., ... } ]}   (sorted by name)
+///
+/// Both lines are compact single-line JSON without a trailing newline.
+[[nodiscard]] std::string metrics_snapshot_header(double interval_seconds);
+[[nodiscard]] std::string metrics_snapshot_line(const MetricsSnapshot& snap,
+                                                std::uint64_t seq, double t);
 
 /// One simulated (policy, instance) measurement.
 struct RunReport {

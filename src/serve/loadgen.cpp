@@ -13,6 +13,7 @@
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/json.hpp"
+#include "serve/server.hpp"
 #include "serve/transport.hpp"
 
 namespace parsched::serve {
@@ -173,6 +174,22 @@ SessionOutcome drive_session(const LoadgenConfig& cfg, int index,
       w.end_object();
       timed_request(client, adv.str(), shared);
     }
+    if (cfg.stats_every > 0 && (i + 1) % cfg.stats_every == 0) {
+      // Live-telemetry probe riding inside the load: the exposition
+      // writer races every hot strand of the server while we scrape.
+      std::ostringstream st;
+      obs::JsonWriter w(st);
+      w.begin_object();
+      w.kv("op", "stats");
+      w.kv("id", rid++);
+      w.end_object();
+      const obs::JsonValue stats = timed_request(client, st.str(), shared);
+      if (stats.string_or("exposition", "").empty()) {
+        throw std::runtime_error("stats returned an empty exposition");
+      }
+      std::lock_guard<std::mutex> lock(shared.mu);
+      ++shared.result.stats_scrapes;
+    }
   }
   (void)last_release;
   timed_request(client, simple_line("query", rid++, session), shared);
@@ -221,10 +238,8 @@ LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
     shared.requests = &cfg.metrics->counter("serve.client.requests");
     shared.rejects = &cfg.metrics->counter("serve.client.rejects");
     shared.errors = &cfg.metrics->counter("serve.client.errors");
-    shared.latency_ms = &cfg.metrics->histogram(
-        "serve.client.latency_ms",
-        {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
-         200.0, 500.0, 1000.0});
+    shared.latency_ms = &cfg.metrics->histogram("serve.client.latency_ms",
+                                                latency_bounds_ms());
   }
   shared.result.sessions.resize(static_cast<std::size_t>(cfg.sessions));
 

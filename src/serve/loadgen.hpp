@@ -40,6 +40,11 @@ struct LoadgenConfig {
   std::uint64_t seed = 1;
   double connect_timeout = 10.0;
   bool shutdown_after = false;  ///< send {"op":"shutdown"} when done
+  /// Every k admissions, each session also scrapes {"op":"stats"} and
+  /// checks the exposition payload is non-empty — a live-telemetry probe
+  /// riding inside the load (the TSan soak uses it to race the
+  /// exposition writer against hot strands). 0 disables.
+  int stats_every = 0;
   obs::MetricsRegistry* metrics = nullptr;  ///< borrowed; may be null
 };
 
@@ -60,6 +65,7 @@ struct LoadgenResult {
   std::uint64_t requests = 0;
   std::uint64_t rejects = 0;  ///< backpressure responses (retried)
   std::uint64_t errors = 0;   ///< protocol/session failures
+  std::uint64_t stats_scrapes = 0;  ///< successful mid-run stats probes
   double wall_seconds = 0.0;
   std::vector<SessionOutcome> sessions;  ///< by session index
 

@@ -5,7 +5,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/expose.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "serve/snapshot.hpp"
 #include "speedup/curve.hpp"
 #include "util/fsio.hpp"
@@ -146,6 +149,31 @@ std::string ok_line(const RequestId& id) {
   return os.str();
 }
 
+std::string stats_line(const RequestId& id, const obs::MetricsSnapshot& snap) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (id.present) w.kv("id", id.value);
+  w.kv("ok", true);
+  w.kv("format", "prometheus");
+  w.kv("metrics", static_cast<std::uint64_t>(snap.samples.size()));
+  w.kv("exposition", obs::exposition_text(snap));
+  w.end_object();
+  return os.str();
+}
+
+std::string dump_line(const RequestId& id, const std::string& jsonl) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  if (id.present) w.kv("id", id.value);
+  w.kv("ok", true);
+  w.kv("kind", "parsched-flight-record");
+  w.kv("dump", jsonl);
+  w.end_object();
+  return os.str();
+}
+
 std::string session_line(const RequestId& id, SessionId sid) {
   std::ostringstream os;
   JsonWriter w(os);
@@ -189,6 +217,39 @@ bool ProtocolHandler::handle_line(std::string_view line, WriteFn write) {
   try {
     if (op == "ping") {
       write(ok_line(id));
+      return true;
+    }
+    if (op == "stats") {
+      // Live telemetry: a point-in-time registry snapshot rendered as
+      // Prometheus text exposition, answered synchronously (no strand —
+      // stats must work even when every session is wedged).
+      const obs::MetricsRegistry* metrics = server_.config().metrics;
+      if (metrics == nullptr) {
+        write(error_line(id, "stats: server has no metrics registry"));
+        return true;
+      }
+      write(stats_line(id, metrics->snapshot()));
+      return true;
+    }
+    if (op == "dump") {
+      // On-demand flight-recorder dump: inline by default, to a file when
+      // "path" is given. Synchronous for the same reason as stats.
+      const obs::FlightRecorder* rec = server_.config().recorder;
+      if (rec == nullptr) {
+        write(error_line(id, "dump: server has no flight recorder"));
+        return true;
+      }
+      std::ostringstream dump;
+      rec->dump_jsonl(dump, "dump_verb");
+      const std::string path = req.string_or("path", "");
+      if (!path.empty()) {
+        auto out = open_output(path, "flight-recorder dump");
+        out << dump.str();
+        finish_output(out, path);
+        write(ok_line(id));
+      } else {
+        write(dump_line(id, dump.str()));
+      }
       return true;
     }
     if (op == "shutdown") {

@@ -15,7 +15,18 @@
 //   {"op":"finish","id":7,"session":7}      -> final result + records
 //   {"op":"close","id":8,"session":7}
 //   {"op":"ping","id":9}
-//   {"op":"shutdown","id":10}               -> drains, then stops serving
+//   {"op":"stats","id":10}                  -> {"id":10,"ok":true,
+//                                              "format":"prometheus",
+//                                              "exposition":"# TYPE ..."}
+//   {"op":"dump","id":11}                   -> inline flight-recorder
+//                                              JSONL in "dump"
+//   {"op":"dump","id":12,"path":"f.jsonl"}  -> dump written to the file
+//   {"op":"shutdown","id":13}               -> drains, then stops serving
+//
+// stats and dump answer synchronously (never queued on a strand): the
+// telemetry plane must respond even when every session is wedged. stats
+// requires Server::Config::metrics, dump requires Config::recorder;
+// without them the verb answers ok:false.
 //
 // Failures answer {"id":..,"ok":false,"error":"..."}; load rejections
 // (queue full, draining, session cap) additionally carry

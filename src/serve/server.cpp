@@ -3,8 +3,16 @@
 #include <utility>
 
 #include "check/contract.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace parsched::serve {
+
+const std::vector<double>& latency_bounds_ms() {
+  static const std::vector<double> bounds{0.05, 0.1, 0.2, 0.5, 1.0,  2.0,
+                                          5.0,  10.0, 20.0, 50.0, 100.0,
+                                          200.0, 500.0, 1000.0};
+  return bounds;
+}
 
 const char* to_string(Submit s) {
   switch (s) {
@@ -19,7 +27,15 @@ const char* to_string(Submit s) {
 
 Server::Server(Config cfg)
     : cfg_(cfg),
-      pool_(exec::ThreadPool::Config{cfg.threads, cfg.metrics}) {}
+      pool_(exec::ThreadPool::Config{cfg.threads, cfg.metrics}) {
+  if (cfg_.metrics != nullptr) {
+    requests_ = &cfg_.metrics->counter("serve.requests");
+    op_errors_ = &cfg_.metrics->counter("serve.op_errors");
+    request_timer_ = &cfg_.metrics->timer("serve.request");
+    latency_ms_ = &cfg_.metrics->histogram("serve.request.latency_ms",
+                                           latency_bounds_ms());
+  }
+}
 
 Server::~Server() { drain(); }
 
@@ -35,6 +51,9 @@ Submit Server::open(const Session::Config& scfg, SessionId& id_out) {
   Session::Config with_metrics = scfg;
   if (with_metrics.metrics == nullptr) {
     with_metrics.metrics = cfg_.metrics;
+  }
+  if (with_metrics.recorder == nullptr) {
+    with_metrics.recorder = cfg_.recorder;
   }
   // Construct outside the lock: make_scheduler may throw (caller error)
   // and session construction is not cheap enough to serialize.
@@ -89,6 +108,16 @@ Submit Server::install(std::unique_ptr<Session> session, SessionId& id_out) {
 }
 
 Submit Server::submit(SessionId id, std::function<void(Session&)> op) {
+  const Submit verdict = submit_impl(id, std::move(op));
+  if (cfg_.recorder != nullptr) {
+    cfg_.recorder->record(obs::FlightEvent::kSubmit, id,
+                          obs::monotonic_seconds(),
+                          static_cast<double>(verdict));
+  }
+  return verdict;
+}
+
+Submit Server::submit_impl(SessionId id, std::function<void(Session&)> op) {
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -160,14 +189,21 @@ void Server::run_strand(SessionId id, const std::shared_ptr<Entry>& entry) {
       return;
     }
     queue_depth_delta(-1);
+    if (cfg_.recorder != nullptr) {
+      cfg_.recorder->record(obs::FlightEvent::kDispatch, id,
+                            obs::monotonic_seconds());
+    }
     if (cfg_.metrics != nullptr) {
-      cfg_.metrics->counter("serve.requests").inc();
-      obs::ScopedTimer timer(&cfg_.metrics->timer("serve.request"));
+      requests_->inc();
+      const double t0 = obs::monotonic_seconds();
       try {
         op(*entry->session);
       } catch (...) {
-        cfg_.metrics->counter("serve.op_errors").inc();
+        op_errors_->inc();
       }
+      const double dt = obs::monotonic_seconds() - t0;
+      request_timer_->add(dt);
+      latency_ms_->observe(dt * 1000.0);
     } else {
       try {
         op(*entry->session);
@@ -235,10 +271,20 @@ void Server::drain() {
   // drain. wait_idle() therefore covers everything.
   pool_.wait_idle();
   pool_.shutdown(true);
-  std::lock_guard<std::mutex> lock(mu_);
-  sessions_.clear();
-  if (cfg_.metrics != nullptr) {
-    cfg_.metrics->gauge("serve.sessions.active").set(0.0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.clear();
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->gauge("serve.sessions.active").set(0.0);
+    }
+  }
+  // The pool is quiet: the graceful-shutdown dump is deterministic over
+  // whatever the run recorded. Idempotent like the drain itself (a second
+  // call rewrites the same file).
+  if (cfg_.recorder != nullptr) {
+    cfg_.recorder->record(obs::FlightEvent::kNote, 0,
+                          obs::monotonic_seconds());
+    cfg_.recorder->dump_to_file("drain");
   }
 }
 

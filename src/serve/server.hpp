@@ -25,6 +25,16 @@
 //     / .draining / .session_cap                    counters
 //   serve.requests                                  counter
 //   serve.request                                   timer (op execution)
+//   serve.request.latency_ms                        histogram (op
+//                                                   execution, ms — the
+//                                                   server-side twin of
+//                                                   loadgen's
+//                                                   serve.client.latency_ms)
+//
+// Flight recording (when Config::recorder is set): every submit verdict
+// and every strand dispatch lands in the ring, and drain() dumps it
+// (reason "drain") once the pool is quiet — so a soak run always leaves
+// a black box behind, even when nothing went wrong.
 #pragma once
 
 #include <cstdint>
@@ -33,11 +43,23 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "serve/session.hpp"
 
+namespace parsched::obs {
+class FlightRecorder;
+}  // namespace parsched::obs
+
 namespace parsched::serve {
+
+/// The latency bucket bounds (milliseconds) shared by the server-side
+/// serve.request.latency_ms histogram and loadgen's
+/// serve.client.latency_ms — identical buckets keep the two sides
+/// comparable in exposition output and BENCH reports.
+[[nodiscard]] const std::vector<double>& latency_bounds_ms();
 
 using SessionId = std::uint64_t;
 
@@ -61,6 +83,10 @@ class Server {
     /// Borrowed; must outlive the server. Also handed to sessions the
     /// server opens.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional flight recorder (obs/flight_recorder.hpp): submit
+    /// verdicts and strand dispatches are recorded, and drain() dumps
+    /// the ring. Borrowed; must outlive the server.
+    obs::FlightRecorder* recorder = nullptr;
   };
 
   explicit Server(Config cfg);
@@ -94,6 +120,7 @@ class Server {
 
   [[nodiscard]] std::size_t session_count() const;
   [[nodiscard]] int threads() const { return pool_.threads(); }
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
  private:
   struct Entry {
@@ -106,12 +133,20 @@ class Server {
   };
 
   Submit install(std::unique_ptr<Session> session, SessionId& id_out);
+  Submit submit_impl(SessionId id, std::function<void(Session&)> op);
   void run_strand(SessionId id, const std::shared_ptr<Entry>& entry);
   void remove_entry(SessionId id, const std::shared_ptr<Entry>& entry);
   void queue_depth_delta(std::int64_t delta);
 
   Config cfg_;
   exec::ThreadPool pool_;
+
+  // Instrument references cached at construction (registry lookups take a
+  // lock; the dispatch path should not).
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* op_errors_ = nullptr;
+  obs::TimerStat* request_timer_ = nullptr;
+  obs::Histogram* latency_ms_ = nullptr;
 
   mutable std::mutex mu_;  // guards sessions_, next_id_, draining_
   std::unordered_map<SessionId, std::shared_ptr<Entry>> sessions_;

@@ -15,6 +15,7 @@ EngineConfig engine_config(const Session::Config& cfg) {
   EngineConfig ec;
   ec.speed = cfg.speed;
   ec.metrics = cfg.metrics;
+  ec.recorder = cfg.recorder;
   return ec;
 }
 
@@ -39,6 +40,7 @@ Session::Session(RestoreTag, SessionSnapshot snap,
   sched_->load_state(snap.scheduler_state);
   EngineConfig ec = snap.engine.config;
   ec.metrics = metrics;
+  ec.recorder = nullptr;  // observability plumbing, never restored
   ec.collect_stats = false;  // profiling does not continue across a restore
   engine_ = std::make_unique<Engine>(snap.engine.machines, ec);
   engine_->import_state(snap.engine, *sched_);

@@ -30,6 +30,7 @@
 
 namespace parsched::obs {
 class MetricsRegistry;
+class FlightRecorder;
 }  // namespace parsched::obs
 
 namespace parsched::serve {
@@ -44,6 +45,11 @@ class Session {
     double speed = 1.0;  ///< resource augmentation (EngineConfig::speed)
     /// Borrowed registry for engine run totals; must outlive the session.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Borrowed flight recorder handed to the engine (admissions,
+    /// decision steps, completions, stalls land in the ring). Must
+    /// outlive the session. Not carried across snapshot restore — the
+    /// recorder is observability plumbing, not session state.
+    obs::FlightRecorder* recorder = nullptr;
   };
 
   /// Opens the session: constructs the policy (throws

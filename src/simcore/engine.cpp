@@ -8,6 +8,7 @@
 
 #include "check/alloc_guard.hpp"
 #include "check/contract.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
 #include "util/mathx.hpp"
@@ -129,6 +130,19 @@ SimResult Engine::take_result() {
   return out;
 }
 
+void Engine::record_failure(bool contract_trip, std::uint64_t id,
+                            const char* reason) noexcept {
+  // The last event the black box sees before the exception escapes: the
+  // failure itself, followed by an automatic dump when a path is armed.
+  // Cold path by construction — this runs once, right before a throw.
+  if (cfg_.recorder == nullptr) return;
+  cfg_.recorder->record(contract_trip ? obs::FlightEvent::kGuardTrip
+                                      : obs::FlightEvent::kStall,
+                        id, now_, 0.0,
+                        static_cast<std::uint32_t>(alive_.size()));
+  cfg_.recorder->dump_to_file(reason);
+}
+
 void Engine::admit_job_now(Job j) {
   j.normalize_phases();
   if (j.size <= 0.0) throw std::invalid_argument("nonpositive job size");
@@ -161,6 +175,11 @@ void Engine::admit_job_now(Job j) {
   // every path allocation-free regardless of where the switch lands.
   ctx_cache_.reserve(alive_.size());
   ++result_.events;
+  if (cfg_.recorder != nullptr) {
+    cfg_.recorder->record(obs::FlightEvent::kAdmit,
+                          static_cast<std::uint64_t>(j.id), now_, j.release,
+                          static_cast<std::uint32_t>(alive_.size()));
+  }
   for (Observer* obs : observers_) obs->on_arrival(now_, j);
 }
 
@@ -308,7 +327,10 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
   dt = std::min(dt, t_arrive - now_);
   dt = std::min(dt, alloc.reconsider_at - now_);
   if (dt == kInf) {
-    if (horizon == kInf) throw SimulationStall(now_);
+    if (horizon == kInf) {
+      record_failure(false, 0, "simulation_stall");
+      throw SimulationStall(now_);
+    }
     return Step::kDeferred;
   }
   dt = std::max(dt, 0.0);
@@ -417,6 +439,12 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
         result_.makespan = std::max(result_.makespan, now_);
         completed_.insert(a.id);
         ++result_.events;
+        if (cfg_.recorder != nullptr) {
+          cfg_.recorder->record(obs::FlightEvent::kComplete,
+                                static_cast<std::uint64_t>(rec.job.id), now_,
+                                rec.flow(),
+                                static_cast<std::uint32_t>(end - 1));
+        }
         result_.records.push_back(std::move(rec));
         --end;
         if (i == end) break;
@@ -463,9 +491,11 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
   } else if (++zero_dt_streak_ > alive_.size() + 2) {
     std::ostringstream os;  // lint: alloc-ok (stall diagnostic, cold path)
     os << "zero-length decision intervals are making no progress";
+    std::uint64_t stuck = 0;
     for (std::size_t i = 0; i < alive_.size(); ++i) {
       if (rates_[i] > 0.0 && alive_[i].phase_remaining <= 0.0) {
         const AliveJob& a = alive_[i];
+        stuck = static_cast<std::uint64_t>(a.id);
         os << "; stuck job id=" << a.id << " (phase "
            << (a.phase + 1) << "/"
            << (a.phases.empty() ? std::size_t{1} : a.phases.size())
@@ -474,7 +504,13 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
         break;
       }
     }
+    record_failure(false, stuck, "simulation_stall");
     throw SimulationStall(now_, os.str());
+  }
+  if (cfg_.recorder != nullptr) {
+    cfg_.recorder->record(obs::FlightEvent::kDecision, result_.decisions,
+                          now_, dt,
+                          static_cast<std::uint32_t>(alive_.size()));
   }
   return Step::kAdvanced;
 }
@@ -511,7 +547,15 @@ SimResult Engine::run(Scheduler& sched, ArrivalSource& source) {
     // answers unchanged.
     const double t_arrive = source.next_time(*this);
     double t_section = 0.0;
-    decision_step(t_arrive, kInf, t_section);  // horizon kInf: never defers
+    try {
+      decision_step(t_arrive, kInf, t_section);  // horizon kInf: never defers
+    } catch (const ContractViolation&) {
+      // An alloc-guard / contract trip escaping a decision step is a
+      // flight-recorder moment: dump the ring before the exception
+      // unwinds past the engine.
+      record_failure(true, 0, "contract_trip");
+      throw;
+    }
     admit_pending(source);
     if (stats_ != nullptr) {
       stats_->solver_seconds += obs::monotonic_seconds() - t_section;
@@ -566,7 +610,13 @@ void Engine::drain_to(double horizon) {
     const double t_arrive =
         pending_.empty() ? kInf : pending_.front().release;
     double t_section = 0.0;
-    const Step step = decision_step(t_arrive, horizon, t_section);
+    Step step;
+    try {
+      step = decision_step(t_arrive, horizon, t_section);
+    } catch (const ContractViolation&) {
+      record_failure(true, 0, "contract_trip");  // see run(): black-box dump
+      throw;
+    }
     if (step == Step::kDeferred) {
       if (stats_ != nullptr) {
         stats_->solver_seconds += obs::monotonic_seconds() - t_section;

@@ -26,6 +26,7 @@ namespace parsched {
 
 namespace obs {
 class MetricsRegistry;
+class FlightRecorder;
 }  // namespace obs
 
 struct EngineConfig {
@@ -62,6 +63,16 @@ struct EngineConfig {
   /// engine.decide/solver/observer when collect_stats is also set).
   /// Borrowed; must outlive run().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional flight recorder (obs/flight_recorder.hpp): the engine
+  /// records decision steps, admissions, completions and stalls into it,
+  /// and — when the recorder has a dump path armed — dumps the ring
+  /// before throwing SimulationStall or letting a contract trip escape a
+  /// decision step. record() is a handful of relaxed atomic stores, so
+  /// leaving this on costs <3% of the dense-alive decision rate (the E11
+  /// flight_recorder_overhead table is the regression proof). Borrowed;
+  /// must outlive the run. Not simulation state: not serialized, not
+  /// checked by import_state().
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Thrown when alive jobs exist but no progress is possible: either all
@@ -187,6 +198,10 @@ class Engine final : public EngineView {
   void drain_to(double horizon);
   Step decision_step(double t_arrive, double horizon, double& t_section);
   void compute_rates(bool validate);
+  /// Flight-recorder failure hook: record a stall/trip event and dump the
+  /// ring (no-op without a recorder). Cold path only.
+  void record_failure(bool contract_trip, std::uint64_t id,
+                      const char* reason) noexcept;
 
   int m_;
   EngineConfig cfg_;

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_compare.py — the perf-regression gate.
+
+Builds baseline/candidate report pairs under a temp dir and asserts the
+gate's verdicts, most importantly: an injected 20% decision-rate
+regression MUST fail even under --auto-scale calibration, and a
+uniformly slower machine MUST pass with it. Run via ctest:
+
+  bench_compare_selftest.py <path-to-bench_compare.py>
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def report():
+    return {
+        "schema": 2,
+        "kind": "parsched-bench-report",
+        "name": "fixture",
+        "meta": {},
+        "runs": [{
+            "policy": "isrpt",
+            "jobs": 100,
+            "machines": 4,
+            "total_flow": 500.0,
+            "weighted_flow": 500.0,
+            "fractional_flow": 450.0,
+            "makespan": 60.0,
+            "decisions": 220,
+            "events": 300,
+            "wall_seconds": 0.4,
+        }],
+        "tables": [
+            {
+                "name": "dense_alive",
+                "columns": ["n", "reps", "decisions_per_sec"],
+                "rows": [
+                    [100, 10, 400000.0],
+                    [1000, 10, 90000.0],
+                    [10000, 4, 11000.0],
+                ],
+            },
+            {
+                "name": "flight_recorder_overhead",
+                "columns": ["n", "overhead_pct"],
+                "rows": [[1000, 1.2]],
+            },
+            {
+                "name": "client_latency",
+                "columns": ["metric", "mean_ms", "p50_ms", "p95_ms",
+                            "p99_ms"],
+                "rows": [["client_latency", 0.08, 0.06, 0.2, 0.4]],
+            },
+        ],
+        "metrics": [{
+            "name": "serve.client.latency_ms",
+            "kind": "histogram",
+            "histogram": {
+                "bounds": [1.0],
+                "counts": [9, 1],
+                "total": 10,
+                "sum": 2.0,
+                "p50": 0.06,
+                "p90": 0.3,
+                "p99": 0.4,
+            },
+        }],
+    }
+
+
+def scale_rates(doc, factor):
+    """Uniform machine-speed change: rates and latencies move together."""
+    for t in doc["tables"]:
+        if t["name"] == "dense_alive":
+            i = t["columns"].index("decisions_per_sec")
+            for row in t["rows"]:
+                row[i] *= factor
+        if t["name"] == "client_latency":
+            for col in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+                i = t["columns"].index(col)
+                for row in t["rows"]:
+                    row[i] /= factor
+    for m in doc["metrics"]:
+        if m["kind"] == "histogram":
+            for q in ("p50", "p90", "p99"):
+                m["histogram"][q] /= factor
+    return doc
+
+
+def run_gate(tool: Path, base: Path, cand: Path, *flags) -> int:
+    return subprocess.run(
+        [sys.executable, str(tool), str(base), str(cand), *flags],
+        capture_output=True,
+        text=True,
+        check=False,
+    ).returncode
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: bench_compare_selftest.py <bench_compare.py>",
+              file=sys.stderr)
+        return 2
+    tool = Path(sys.argv[1]).resolve()
+    failures: list[str] = []
+
+    baseline = report()
+
+    # Candidate mutators, expected exit with the listed flags.
+    def regressed_one_gate(doc):
+        # THE acceptance case: one decision-rate gate drops 20% while
+        # its siblings hold — must fail even with calibration on.
+        t = doc["tables"][0]
+        i = t["columns"].index("decisions_per_sec")
+        t["rows"][2][i] *= 0.8
+        return doc
+
+    def uniformly_slower(doc):
+        return scale_rates(doc, 0.5)
+
+    def uniformly_faster(doc):
+        return scale_rates(doc, 2.0)
+
+    def flow_drift(doc):
+        doc["runs"][0]["total_flow"] += 1.0
+        return doc
+
+    def overhead_blown(doc):
+        t = doc["tables"][1]
+        i = t["columns"].index("overhead_pct")
+        t["rows"][0][i] = 7.5
+        return doc
+
+    def p99_spike(doc):
+        t = doc["tables"][2]
+        i = t["columns"].index("p99_ms")
+        t["rows"][0][i] *= 1.5
+        return doc
+
+    cases = [
+        ("identical", lambda d: d, ["--auto-scale"], 0),
+        ("regressed_one_gate", regressed_one_gate, ["--auto-scale"], 1),
+        ("regressed_no_scale", regressed_one_gate, [], 1),
+        ("uniformly_slower_scaled", uniformly_slower, ["--auto-scale"], 0),
+        ("uniformly_slower_raw", uniformly_slower, [], 1),
+        ("uniformly_faster", uniformly_faster, ["--auto-scale"], 0),
+        ("flow_drift", flow_drift, ["--auto-scale"], 1),
+        ("overhead_blown", overhead_blown, ["--auto-scale"], 1),
+        ("p99_spike", p99_spike, ["--auto-scale", "--tolerance=0.15"], 1),
+        ("p99_spike_loose", p99_spike, ["--tolerance=0.60"], 0),
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="parsched-gate-") as tmp:
+        root = Path(tmp)
+        base_path = root / "baseline.json"
+        base_path.write_text(json.dumps(baseline), encoding="utf-8")
+        for name, mutate, flags, expected in cases:
+            cand = mutate(copy.deepcopy(baseline))
+            cand_path = root / f"{name}.json"
+            cand_path.write_text(json.dumps(cand), encoding="utf-8")
+            got = run_gate(tool, base_path, cand_path, *flags)
+            if got != expected:
+                failures.append(
+                    f"{name} {flags}: expected exit {expected}, got {got}"
+                )
+
+        # --auto-scale refuses to calibrate on too few gates (it would
+        # be calibrating on the very gate under test).
+        thin = copy.deepcopy(baseline)
+        thin["tables"] = [thin["tables"][0]]
+        thin["tables"][0]["rows"] = thin["tables"][0]["rows"][:2]
+        thin["metrics"] = []
+        thin_path = root / "thin.json"
+        thin_path.write_text(json.dumps(thin), encoding="utf-8")
+        if run_gate(tool, thin_path, thin_path, "--auto-scale") != 2:
+            failures.append("thin --auto-scale: expected usage exit 2")
+
+    if failures:
+        print("bench_compare_selftest FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"bench_compare_selftest OK ({len(cases) + 1} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 // file), and the bench-report schema.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +12,8 @@
 #include <thread>  // lint: thread-ok
 
 #include "analysis/trace.hpp"
+#include "obs/expose.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -135,6 +138,303 @@ TEST(Metrics, HistogramDataBucketsInclusiveUpperBounds) {
   EXPECT_EQ(h.counts[1], 1u);
   EXPECT_EQ(h.counts[2], 1u);
   EXPECT_DOUBLE_EQ(h.mean(), 5.5 / 3.0);
+}
+
+// ------------------------------------------------- histogram quantiles
+
+TEST(Quantiles, EmptyHistogramReturnsZero) {
+  obs::HistogramData h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  const obs::HistogramData::Summary s = h.summary();
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Quantiles, SingleBucketInterpolatesFromLowerEdge) {
+  obs::HistogramData h({10.0});
+  for (int i = 0; i < 4; ++i) h.add(5.0);
+  // All mass in [0, 10]: the q-th quantile is linear in q.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Quantiles, BucketEdgesAndOverflowSaturation) {
+  obs::HistogramData h({1.0, 2.0, 4.0});
+  h.add(0.5);  // bucket [<=1]
+  h.add(1.5);  // bucket (1,2]
+  h.add(3.0);  // bucket (2,4]
+  h.add(9.0);  // overflow
+  // Exactly at a cumulative boundary: 0.25 of the mass sits in the
+  // first bucket, so q=0.25 lands on its upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 4.0);
+  // Mass past the last bound saturates at the last bound (the
+  // Prometheus convention): no invented upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 4.0);
+}
+
+TEST(Quantiles, NegativeValuesWidenTheFirstBucketEdge) {
+  obs::HistogramData h({-1.0, 1.0});
+  h.add(-2.0);
+  h.add(-1.5);
+  // First bucket's lower edge is min(0, bound) = the observations'
+  // bucket floor stays below zero instead of clamping to 0.
+  EXPECT_LE(h.quantile(0.5), -1.0);
+}
+
+TEST(Quantiles, SurviveMergeAcrossRegistries) {
+  obs::Histogram a({1.0, 2.0, 4.0});
+  obs::Histogram b({1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) a.observe(0.5);
+  for (int i = 0; i < 50; ++i) b.observe(3.0);
+  a.merge(b.snapshot());
+  const obs::HistogramData h = a.snapshot();
+  EXPECT_EQ(h.total, 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // half the mass at <=1
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 3.0);  // midway through (2,4]
+  EXPECT_DOUBLE_EQ(a.quantile(0.75), 3.0);  // live-histogram shortcut
+}
+
+// Snapshot totals are derived from the bucket counts, so a concurrent
+// scrape can never see sum(counts) != total (the torn-read window the
+// old separate total_ atomic allowed). Exercised under TSan in CI.
+TEST(Quantiles, ConcurrentScrapeSeesConsistentTotals) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {0.5, 1.0, 2.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&h, &stop] {  // lint: thread-ok
+    for (int i = 0; !stop.load(std::memory_order_acquire); ++i) {
+      h.observe(0.25 * (i % 12));
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const obs::HistogramData d = h.snapshot();
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : d.counts) sum += c;
+    ASSERT_EQ(sum, d.total);
+    (void)d.quantile(0.99);  // must not throw or read out of range
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();  // lint: thread-ok
+}
+
+// ------------------------------------------------- Prometheus exposition
+
+TEST(Exposition, NameSanitization) {
+  EXPECT_EQ(obs::exposition_name("serve.request.latency_ms"),
+            "parsched_serve_request_latency_ms");
+  EXPECT_EQ(obs::exposition_name("weird-name+x"), "parsched_weird_name_x");
+}
+
+// Golden exposition for one metric of each kind. Byte-stable: the
+// snapshot is name-sorted and numbers go through obs::json_number.
+TEST(Exposition, GoldenTextForAllMetricKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("b.depth").set(1.5);
+  reg.timer("c.work").add(0.25);
+  auto& h = reg.histogram("d.lat", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string expected =
+      "# TYPE parsched_a_count counter\n"
+      "parsched_a_count 3\n"
+      "# TYPE parsched_b_depth gauge\n"
+      "parsched_b_depth 1.5\n"
+      "# TYPE parsched_c_work_seconds summary\n"
+      "parsched_c_work_seconds_sum 0.25\n"
+      "parsched_c_work_seconds_count 1\n"
+      "# TYPE parsched_d_lat histogram\n"
+      "parsched_d_lat_bucket{le=\"1\"} 1\n"
+      "parsched_d_lat_bucket{le=\"2\"} 2\n"
+      "parsched_d_lat_bucket{le=\"+Inf\"} 3\n"
+      "parsched_d_lat_sum 11\n"
+      "parsched_d_lat_count 3\n"
+      "parsched_d_lat{quantile=\"0.5\"} 1.5\n"
+      "parsched_d_lat{quantile=\"0.9\"} 2\n"
+      "parsched_d_lat{quantile=\"0.99\"} 2\n";
+  EXPECT_EQ(obs::exposition_text(reg.snapshot()), expected);
+}
+
+TEST(Exposition, EmptySnapshotIsEmptyText) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(obs::exposition_text(reg.snapshot()), "");
+}
+
+// The serve stats verb scrapes while strands are mutating the registry;
+// under TSan this asserts the whole snapshot->exposition path is clean.
+TEST(Exposition, ConcurrentScrapeWhileWriting) {
+  obs::MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::thread writer([&reg, &stop] {  // lint: thread-ok
+    for (int i = 0; !stop.load(std::memory_order_acquire); ++i) {
+      reg.counter("ops").inc();
+      reg.histogram("lat", {0.5, 1.0}).observe(0.3 * (i % 5));
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    const std::string text = obs::exposition_text(reg.snapshot());
+    if (!text.empty()) {
+      EXPECT_NE(text.find("# TYPE parsched_ops counter"),
+                std::string::npos);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();  // lint: thread-ok
+}
+
+// --------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, RecordsAndDumpsDeterministicJsonl) {
+  obs::FlightRecorder rec(8);
+  rec.record(obs::FlightEvent::kAdmit, 7, 1.0, 2.5, 3);
+  rec.record(obs::FlightEvent::kDecision, 0, 1.5, 0.25, 4);
+  rec.record(obs::FlightEvent::kComplete, 7, 2.0, 1.0, 3);
+  EXPECT_EQ(rec.recorded(), 3u);
+
+  std::ostringstream os;
+  rec.dump_jsonl(os, "unit_test");
+  const std::string expected =
+      "{\"ev\": \"header\", \"kind\": \"parsched-flight-record\", "
+      "\"schema\": 1, \"reason\": \"unit_test\", \"capacity\": 8, "
+      "\"recorded\": 3, \"dropped\": 0, \"events\": 3}\n"
+      "{\"ev\": \"admit\", \"seq\": 0, \"id\": 7, \"t\": 1, \"v\": 2.5, "
+      "\"a\": 3}\n"
+      "{\"ev\": \"decision\", \"seq\": 1, \"id\": 0, \"t\": 1.5, "
+      "\"v\": 0.25, \"a\": 4}\n"
+      "{\"ev\": \"complete\", \"seq\": 2, \"id\": 7, \"t\": 2, \"v\": 1, "
+      "\"a\": 3}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(FlightRecorder, RingWrapKeepsOnlyTheNewestEvents) {
+  obs::FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record(obs::FlightEvent::kNote, i, static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first; seq identifies the drop count.
+  EXPECT_EQ(events.front().seq, 6u);
+  EXPECT_EQ(events.back().seq, 9u);
+  std::ostringstream os;
+  rec.dump_jsonl(os, "wrap");
+  EXPECT_NE(os.str().find("\"dropped\": 6"), std::string::npos);
+  EXPECT_NE(os.str().find("\"events\": 4"), std::string::npos);
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  obs::FlightRecorder rec(0);
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.record(obs::FlightEvent::kStall, 1, 0.0);
+  EXPECT_EQ(rec.snapshot().size(), 1u);
+}
+
+TEST(FlightRecorder, DumpToFileWritesAndFailsSoftly) {
+  obs::FlightRecorder rec(4);
+  rec.record(obs::FlightEvent::kGuardTrip, 3, 1.0);
+  const std::string path = testing::TempDir() + "flight_unit.jsonl";
+  rec.set_dump_path(path);
+  EXPECT_TRUE(rec.dump_to_file("unit"));
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"reason\": \"unit\""), std::string::npos);
+  EXPECT_NE(text.find("\"ev\": \"guard_trip\""), std::string::npos);
+  std::filesystem::remove(path);
+  // A bad path must not throw — the dump rides failure paths where a
+  // second exception would terminate.
+  rec.set_dump_path("test_obs_nonexistent_dir/flight.jsonl");
+  EXPECT_FALSE(rec.dump_to_file("unit"));
+  rec.set_dump_path("");
+  EXPECT_FALSE(rec.dump_to_file("unit"));
+}
+
+// Concurrent writers against a small ring; the reader must only ever
+// see fully published events with sane fields. TSan-checked in CI.
+TEST(FlightRecorder, ConcurrentRecordAndSnapshot) {
+  obs::FlightRecorder rec(16);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;  // lint: thread-ok
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&rec, &stop, w] {
+      for (std::uint64_t i = 0; !stop.load(std::memory_order_acquire);
+           ++i) {
+        rec.record(obs::FlightEvent::kDecision, w, static_cast<double>(i),
+                   1.0, 2);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    for (const obs::FlightRecorder::Event& e : rec.snapshot()) {
+      ASSERT_EQ(e.kind, obs::FlightEvent::kDecision);
+      ASSERT_LT(e.id, 2u);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();  // lint: thread-ok
+}
+
+// The engine records admissions, decisions, completions into an
+// attached recorder — and the ring contents are deterministic for a
+// deterministic run.
+TEST(FlightRecorder, EngineWiresDecisionsAdmissionsCompletions) {
+  Instance inst(2, {make_job(0, 0.0, 2.0, 0.5), make_job(1, 0.5, 1.0, 0.5)});
+  IntermediateSrpt sched;
+  obs::FlightRecorder rec(64);
+  EngineConfig ec;
+  ec.recorder = &rec;
+  const SimResult r = simulate(inst, sched, ec);
+
+  std::size_t admits = 0;
+  std::size_t completes = 0;
+  std::size_t decisions = 0;
+  for (const obs::FlightRecorder::Event& e : rec.snapshot()) {
+    if (e.kind == obs::FlightEvent::kAdmit) ++admits;
+    if (e.kind == obs::FlightEvent::kComplete) ++completes;
+    if (e.kind == obs::FlightEvent::kDecision) ++decisions;
+  }
+  EXPECT_EQ(admits, 2u);
+  EXPECT_EQ(completes, 2u);
+  EXPECT_EQ(decisions, r.decisions);
+
+  // Identical rerun: identical ring (events carry sim time, not wall).
+  obs::FlightRecorder rec2(64);
+  EngineConfig ec2;
+  ec2.recorder = &rec2;
+  IntermediateSrpt sched2;
+  (void)simulate(inst, sched2, ec2);
+  std::ostringstream a, b;
+  rec.dump_jsonl(a, "x");
+  rec2.dump_jsonl(b, "x");
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// ------------------------------------------------- metrics snapshot JSONL
+
+TEST(MetricsSnapshotJsonl, HeaderAndLineShapes) {
+  const std::string header = obs::metrics_snapshot_header(2.5);
+  EXPECT_EQ(header,
+            "{\"ev\":\"header\",\"kind\":\"parsched-metrics-snapshot\","
+            "\"schema\":1,\"interval_seconds\":2.5}");
+
+  obs::MetricsRegistry reg;
+  reg.counter("x").inc(2);
+  const std::string line =
+      obs::metrics_snapshot_line(reg.snapshot(), 4, 1.25);
+  std::string err;
+  ASSERT_TRUE(obs::json_syntax_valid(line, &err)) << err;
+  EXPECT_EQ(line,
+            "{\"ev\":\"snapshot\",\"seq\":4,\"t\":1.25,\"metrics\":"
+            "[{\"name\":\"x\",\"kind\":\"counter\",\"value\":2}]}");
 }
 
 // ------------------------------------------------------------------ JSON
@@ -364,9 +664,12 @@ TEST(Report, BenchReportSchemaRoundTrips) {
   const std::string text = report.to_json();
   std::string err;
   ASSERT_TRUE(obs::json_syntax_valid(text, &err)) << err << "\n" << text;
-  EXPECT_NE(text.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": 2"), std::string::npos);
   EXPECT_NE(text.find("\"kind\": \"parsched-bench-report\""),
             std::string::npos);
+  // Schema 2: every serialized histogram carries interpolated quantiles.
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
   EXPECT_NE(text.find("\"decide_seconds\""), std::string::npos);
   EXPECT_NE(text.find("\"decision_interval\""), std::string::npos);
   EXPECT_NE(text.find("\"alive_count\""), std::string::npos);

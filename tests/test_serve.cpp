@@ -20,6 +20,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <stdexcept>
@@ -27,6 +29,7 @@
 #include <thread>  // lint: thread-ok
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "sched/registry.hpp"
 #include "serve/loadgen.hpp"
@@ -751,6 +754,171 @@ TEST(Protocol, ErrorsAndRejectionsAnswerEveryRequest) {
   EXPECT_FALSE(badcurve.bool_or("ok", true));
 }
 
+// The live-telemetry verbs. stats/dump answer synchronously (they must
+// work even when every strand is wedged), so a strict request/response
+// client exercises them exactly like any other op.
+TEST(Protocol, StatsVerbReturnsPrometheusExposition) {
+  obs::MetricsRegistry reg;
+  ProtoClient client(server_config(2, 4, 16, &reg));
+
+  // Before any traffic: the server's eagerly-registered instruments are
+  // already scrapeable.
+  obs::JsonValue stats = client.call_json(R"({"op":"stats","id":1})");
+  ASSERT_TRUE(stats.bool_or("ok", false));
+  EXPECT_EQ(stats.string_or("format", ""), "prometheus");
+  EXPECT_GT(stats.number_or("metrics", 0.0), 0.0);
+  std::string text = stats.string_or("exposition", "");
+  EXPECT_NE(text.find("# TYPE parsched_serve_requests counter"),
+            std::string::npos);
+
+  // Traffic, then a re-scrape: serve.* counters moved and the
+  // server-side latency histogram carries quantile samples.
+  const obs::JsonValue opened = client.call_json(
+      R"({"op":"open","id":2,"policy":"equi","machines":2})");
+  ASSERT_TRUE(opened.bool_or("ok", false));
+  const std::string s = std::to_string(
+      static_cast<std::uint64_t>(opened.number_or("session", 0.0)));
+  ASSERT_TRUE(client
+                  .call_json(R"({"op":"admit","id":3,"session":)" + s +
+                             R"(,"job":{"id":0,"size":1}})")
+                  .bool_or("ok", false));
+  ASSERT_TRUE(
+      client.call_json(R"({"op":"finish","id":4,"session":)" + s + "}")
+          .bool_or("ok", false));
+
+  stats = client.call_json(R"({"op":"stats","id":5})");
+  ASSERT_TRUE(stats.bool_or("ok", false));
+  text = stats.string_or("exposition", "");
+  EXPECT_NE(text.find("parsched_serve_sessions_opened 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsched_engine_completions 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE parsched_serve_request_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsched_serve_request_latency_ms{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST(Protocol, StatsWithoutMetricsIsARequestError) {
+  ProtoClient client(server_config(1, 2, 4));  // no registry attached
+  const obs::JsonValue stats = client.call_json(R"({"op":"stats","id":1})");
+  EXPECT_FALSE(stats.bool_or("ok", true));
+}
+
+TEST(Protocol, DumpVerbReturnsFlightRecordInline) {
+  obs::FlightRecorder rec(64);
+  serve::Server::Config cfg = server_config(2, 4, 16);
+  cfg.recorder = &rec;
+  ProtoClient client(cfg);
+
+  const obs::JsonValue opened = client.call_json(
+      R"({"op":"open","id":1,"policy":"equi","machines":2})");
+  ASSERT_TRUE(opened.bool_or("ok", false));
+  const std::string s = std::to_string(
+      static_cast<std::uint64_t>(opened.number_or("session", 0.0)));
+  ASSERT_TRUE(client
+                  .call_json(R"({"op":"admit","id":2,"session":)" + s +
+                             R"(,"job":{"id":0,"size":1}})")
+                  .bool_or("ok", false));
+  ASSERT_TRUE(
+      client.call_json(R"({"op":"finish","id":3,"session":)" + s + "}")
+          .bool_or("ok", false));
+
+  const obs::JsonValue dump = client.call_json(R"({"op":"dump","id":4})");
+  ASSERT_TRUE(dump.bool_or("ok", false));
+  EXPECT_EQ(dump.string_or("kind", ""), "parsched-flight-record");
+  const std::string jsonl = dump.string_or("dump", "");
+  EXPECT_NE(jsonl.find("\"reason\": \"dump_verb\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ev\": \"submit\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ev\": \"dispatch\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ev\": \"admit\""), std::string::npos);
+  // Every line is one standalone JSON object.
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string err;
+    EXPECT_TRUE(obs::json_syntax_valid(line, &err)) << line << ": " << err;
+  }
+
+  // With a path: the dump lands in the file and the reply stays small.
+  const std::string path = testing::TempDir() + "proto_dump.jsonl";
+  const obs::JsonValue to_file = client.call_json(
+      R"({"op":"dump","id":5,"path":")" + path + R"("})");
+  ASSERT_TRUE(to_file.bool_or("ok", false));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("parsched-flight-record"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Protocol, DumpWithoutRecorderIsARequestError) {
+  ProtoClient client(server_config(1, 2, 4));
+  EXPECT_FALSE(
+      client.call_json(R"({"op":"dump","id":1})").bool_or("ok", true));
+}
+
+// ---------------------------------------------------------- flight dump
+
+// A policy that never assigns rate: with one alive job and no pending
+// arrivals the engine has no next event, which is exactly the
+// SimulationStall path the flight recorder exists to explain.
+class ZeroRateScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "zero-rate"; }
+  void allocate(const SchedulerContext& ctx, Allocation& out) override {
+    out.reset(ctx.alive().size());  // all shares zero: no progress
+  }
+};
+
+TEST(FlightDump, SimulationStallWritesASchemaValidDump) {
+  obs::FlightRecorder rec(32);
+  const std::string path = testing::TempDir() + "stall_flight.jsonl";
+  std::filesystem::remove(path);
+  rec.set_dump_path(path);
+
+  EngineConfig ec;
+  ec.recorder = &rec;
+  Job j;
+  j.id = 7;
+  j.size = 1.0;
+  j.curve = SpeedupCurve::power_law(0.5);
+  ZeroRateScheduler sched;
+  EXPECT_THROW((void)simulate(Instance(2, {j}), sched, ec),
+               SimulationStall);
+
+  // The failure path dumped the ring before the throw reached us.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  std::string err;
+  ASSERT_TRUE(obs::json_syntax_valid(line, &err)) << line << ": " << err;
+  EXPECT_NE(line.find("\"kind\": \"parsched-flight-record\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"reason\": \"simulation_stall\""),
+            std::string::npos);
+  bool saw_stall = false;
+  bool saw_admit = false;
+  std::uint64_t body_lines = 0;
+  while (std::getline(in, line)) {
+    ++body_lines;
+    EXPECT_TRUE(obs::json_syntax_valid(line, &err)) << line << ": " << err;
+    if (line.find("\"ev\": \"stall\"") != std::string::npos) {
+      saw_stall = true;
+      // The stall event carries the alive count in its aux field.
+      EXPECT_NE(line.find("\"a\": 1"), std::string::npos);
+    }
+    if (line.find("\"ev\": \"admit\"") != std::string::npos) {
+      saw_admit = true;
+    }
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_admit);
+  EXPECT_GT(body_lines, 0u);
+  std::filesystem::remove(path);
+}
+
 // Snapshot over the protocol: snapshot to a file, restore it as a new
 // session, and the restored continuation matches the donor's.
 TEST(Protocol, SnapshotRestoreRoundTrip) {
@@ -813,6 +981,8 @@ TEST(Transport, SocketSoakWithLoadgen) {
   cfg.advance_every = 8;
   cfg.machines = 2;
   cfg.seed = 11;
+  cfg.stats_every = 8;  // scrape stats mid-run: the TSan leg drives the
+                        // concurrent snapshot/exposition path end-to-end
   cfg.shutdown_after = true;
   cfg.metrics = &client_reg;
   const serve::LoadgenResult r = serve::run_loadgen(cfg);
@@ -822,6 +992,7 @@ TEST(Transport, SocketSoakWithLoadgen) {
   EXPECT_EQ(r.sessions.size(), 8u);
   EXPECT_EQ(r.jobs_completed(), 8u * 40u);
   EXPECT_GT(r.total_flow(), 0.0);
+  EXPECT_GT(r.stats_scrapes, 0u) << "stats probes must have fired";
 
   const obs::MetricsSnapshot snap = client_reg.snapshot();
   const auto* lat = snap.find("serve.client.latency_ms");

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Self-test for tools/validate_report.py.
+
+Builds fixture telemetry files under a temp dir — valid and broken
+variants of each format the validator dispatches on (bench report,
+metrics-snapshot JSONL, flight-record JSONL, trace JSONL) — and asserts
+the validator accepts exactly the valid ones. Run via ctest:
+
+  validate_report_selftest.py <path-to-validate_report.py>
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def histogram(quantiles=True, torn=False, monotone=True):
+    h = {
+        "bounds": [1.0, 2.0],
+        "counts": [1, 2, 1],
+        "total": 4 if not torn else 5,
+        "sum": 6.0,
+    }
+    if quantiles:
+        h["p50"] = 1.5
+        h["p90"] = 2.0 if monotone else 1.0
+        h["p99"] = 2.0
+    return h
+
+
+def bench_report(schema=2, torn=False, monotone=True):
+    return {
+        "schema": schema,
+        "kind": "parsched-bench-report",
+        "name": "fixture",
+        "meta": {},
+        "runs": [{
+            "policy": "isrpt",
+            "jobs": 2,
+            "machines": 1,
+            "total_flow": 3.0,
+            "weighted_flow": 3.0,
+            "fractional_flow": 2.5,
+            "makespan": 2.0,
+            "decisions": 4,
+            "events": 6,
+            "wall_seconds": 0.1,
+            "stats": None,
+        }],
+        "tables": [{"name": "t", "columns": ["a", "b"], "rows": [[1, 2]]}],
+        "metrics": [{
+            "name": "lat",
+            "kind": "histogram",
+            "histogram": histogram(torn=torn, monotone=monotone),
+        }],
+    }
+
+
+def snapshot_jsonl(bad_seq=False, bad_schema=False):
+    lines = [{
+        "ev": "header",
+        "kind": "parsched-metrics-snapshot",
+        "schema": 9 if bad_schema else 1,
+        "interval_seconds": 0.5,
+    }]
+    for seq in range(3):
+        lines.append({
+            "ev": "snapshot",
+            "seq": seq + 5 if bad_seq and seq == 1 else seq,
+            "t": 0.5 * (seq + 1),
+            "metrics": [{"name": "c", "kind": "counter", "value": seq}],
+        })
+    return lines
+
+
+def flight_jsonl(bad_ev=False, bad_seq=False, truncated=False):
+    lines = [{
+        "ev": "header",
+        "kind": "parsched-flight-record",
+        "schema": 1,
+        "reason": "unit",
+        "capacity": 8,
+        "recorded": 3,
+        "dropped": 0,
+        "events": 3,
+    }]
+    for seq, kind in enumerate(("admit", "decision", "complete")):
+        lines.append({
+            "ev": "warp" if bad_ev and seq == 1 else kind,
+            "seq": 0 if bad_seq and seq == 2 else seq,
+            "id": 7,
+            "t": 0.5 * seq,
+            "v": 1.0,
+            "a": 2,
+        })
+    if truncated:
+        lines.pop()
+    return lines
+
+
+def trace_jsonl():
+    return [
+        {"ev": "header", "schema": 1, "kind": "parsched-trace",
+         "end_time": 1.0, "dropped": 0},
+        {"ev": "arrive", "t": 0.0, "job": 0},
+    ]
+
+
+def run_validator(tool: Path, path: Path) -> int:
+    return subprocess.run(
+        [sys.executable, str(tool), str(path)],
+        capture_output=True,
+        text=True,
+        check=False,
+    ).returncode
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: validate_report_selftest.py <validate_report.py>",
+              file=sys.stderr)
+        return 2
+    tool = Path(sys.argv[1]).resolve()
+    failures: list[str] = []
+
+    # (name, contents, jsonl?, expected exit)
+    fixtures = [
+        ("BENCH_ok.json", bench_report(), False, 0),
+        ("BENCH_old_schema.json", bench_report(schema=1), False, 1),
+        ("BENCH_torn_total.json", bench_report(torn=True), False, 1),
+        ("BENCH_bad_quantiles.json", bench_report(monotone=False), False, 1),
+        ("snapshot_ok.jsonl", snapshot_jsonl(), True, 0),
+        ("snapshot_bad_seq.jsonl", snapshot_jsonl(bad_seq=True), True, 1),
+        ("snapshot_bad_schema.jsonl", snapshot_jsonl(bad_schema=True),
+         True, 1),
+        ("flight_ok.jsonl", flight_jsonl(), True, 0),
+        ("flight_bad_ev.jsonl", flight_jsonl(bad_ev=True), True, 1),
+        ("flight_bad_seq.jsonl", flight_jsonl(bad_seq=True), True, 1),
+        ("flight_truncated.jsonl", flight_jsonl(truncated=True), True, 1),
+        ("trace_ok.jsonl", trace_jsonl(), True, 0),
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="parsched-validate-") as tmp:
+        root = Path(tmp)
+        for name, contents, is_jsonl, expected in fixtures:
+            path = root / name
+            if is_jsonl:
+                path.write_text(
+                    "".join(json.dumps(l) + "\n" for l in contents),
+                    encoding="utf-8",
+                )
+            else:
+                path.write_text(json.dumps(contents), encoding="utf-8")
+            got = run_validator(tool, path)
+            if got != expected:
+                failures.append(
+                    f"{name}: expected exit {expected}, got {got}"
+                )
+
+    if failures:
+        print("validate_report_selftest FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"validate_report_selftest OK ({len(fixtures)} fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,11 +24,17 @@
 //            per-task seeds derive from exec::task_seed(base, index)
 //            and results merge in task-index order. Job count and wall
 //            time go to stderr only, never into artifacts.
+#include <atomic>
+#include <ctime>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <thread>  // lint: thread-ok (stats-interval emitter)
 
 #include "analysis/trace.hpp"
 #include "exec/sweep.hpp"
+#include "obs/expose.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/trace_export.hpp"
@@ -42,6 +48,7 @@
 #include "serve/transport.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/io.hpp"
+#include "util/fsio.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -70,9 +77,12 @@ int usage() {
       "          [--jobs=N] [--csv=FILE.csv]\n"
       "  serve   --stdio | --socket=PATH [--threads=N]\n"
       "          [--max-sessions=64] [--max-queue=128]\n"
+      "          [--stats-interval=SECS [--stats-out=FILE.jsonl]]\n"
+      "          [--flight-capacity=4096] [--flight-dump=FILE.jsonl]\n"
       "  loadgen --socket=PATH [--sessions=8] [--admissions=200]\n"
       "          [--rate=64] [--advance-every=16] [--policy=equi]\n"
-      "          [--machines=4] [--seed=1] [--shutdown]\n";
+      "          [--machines=4] [--seed=1] [--stats-every=0]\n"
+      "          [--shutdown]\n";
   return 2;
 }
 
@@ -356,9 +366,62 @@ int cmd_bound(const Options& opt) {
   return 0;
 }
 
+// The periodic metrics emitter behind `serve --stats-interval`: a
+// background thread appending schema-versioned snapshot lines (see
+// obs::metrics_snapshot_header for the JSONL shape) until told to stop.
+// Sleeps in short hops so shutdown latency stays well under a second
+// regardless of the interval, and always writes one final snapshot so
+// even a run shorter than the interval records something.
+class StatsEmitter {
+ public:
+  StatsEmitter(std::string path, double interval)
+      : path_(std::move(path)), interval_(interval) {
+    thread_ = std::thread([this] { run(); });  // lint: thread-ok
+  }
+
+  ~StatsEmitter() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();  // lint: thread-ok
+  }
+
+  StatsEmitter(const StatsEmitter&) = delete;
+  StatsEmitter& operator=(const StatsEmitter&) = delete;
+
+ private:
+  void run() {
+    auto out = open_output(path_, "metrics snapshots");
+    out << obs::metrics_snapshot_header(interval_) << '\n';
+    std::uint64_t seq = 0;
+    double next = obs::monotonic_seconds() + interval_;
+    while (!stop_.load(std::memory_order_acquire)) {
+      timespec hop{0, 50 * 1000 * 1000};  // 50ms
+      nanosleep(&hop, nullptr);
+      const double now = obs::monotonic_seconds();
+      if (now < next) continue;
+      next = now + interval_;
+      out << obs::metrics_snapshot_line(
+                 obs::MetricsRegistry::global().snapshot(), seq++, now)
+          << '\n';
+      out.flush();  // scrape-able while the server is still up
+    }
+    out << obs::metrics_snapshot_line(
+               obs::MetricsRegistry::global().snapshot(), seq++,
+               obs::monotonic_seconds())
+        << '\n';
+    finish_output(out, path_);
+  }
+
+  std::string path_;
+  double interval_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;  // lint: thread-ok
+};
+
 // The online service: NDJSON requests over stdin/stdout or a Unix
 // socket, sessions multiplexed over the exec pool. Blocks until a
-// client sends {"op":"shutdown"} (or stdin reaches EOF).
+// client sends {"op":"shutdown"} (or stdin reaches EOF). A flight
+// recorder is always attached (so the `dump` verb answers); its
+// capacity and crash-dump path are tunable.
 int cmd_serve(const Options& opt) {
   const bool stdio = opt.get_bool("stdio", false);
   const std::string socket_path = opt.get("socket", "");
@@ -373,6 +436,21 @@ int cmd_serve(const Options& opt) {
       static_cast<std::size_t>(opt.get_int("max-sessions", 64));
   cfg.max_queue = static_cast<std::size_t>(opt.get_int("max-queue", 128));
   cfg.metrics = &obs::MetricsRegistry::global();
+
+  obs::FlightRecorder recorder(
+      static_cast<std::size_t>(opt.get_int("flight-capacity", 4096)));
+  if (opt.has("flight-dump")) {
+    recorder.set_dump_path(opt.get("flight-dump", "flight.jsonl"));
+  }
+  cfg.recorder = &recorder;
+
+  std::optional<StatsEmitter> emitter;
+  const double stats_interval = opt.get_double("stats-interval", 0.0);
+  if (stats_interval > 0.0) {
+    emitter.emplace(opt.get("stats-out", "serve_stats.jsonl"),
+                    stats_interval);
+  }
+
   serve::ProtocolHandler handler(cfg);
   if (stdio) {
     serve_stdio(handler);
@@ -401,6 +479,7 @@ int cmd_loadgen(const Options& opt) {
   cfg.policy = opt.get("policy", "equi");
   cfg.machines = static_cast<int>(opt.get_int("machines", 4));
   cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  cfg.stats_every = static_cast<int>(opt.get_int("stats-every", 0));
   cfg.shutdown_after = opt.get_bool("shutdown", false);
   cfg.metrics = &obs::MetricsRegistry::global();
 
@@ -412,6 +491,19 @@ int cmd_loadgen(const Options& opt) {
             << " errors) in " << r.wall_seconds << "s\n"
             << "  jobs completed " << r.jobs_completed() << "\n"
             << "  total flow     " << r.total_flow() << "\n";
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const obs::MetricSample* lat = snap.find("serve.client.latency_ms");
+  if (lat != nullptr && lat->histogram.total > 0) {
+    const obs::HistogramData& h = lat->histogram;
+    std::cout << "  latency ms     p50 " << h.quantile(0.5) << " / p95 "
+              << h.quantile(0.95) << " / p99 " << h.quantile(0.99)
+              << " / mean " << h.mean() << " (" << h.total
+              << " samples)\n";
+  }
+  if (r.stats_scrapes > 0) {
+    std::cout << "  stats scrapes  " << r.stats_scrapes << "\n";
+  }
 
   if (obs::report_enabled()) {
     obs::BenchReport report("serve_loadgen");
@@ -436,7 +528,16 @@ int cmd_loadgen(const Options& opt) {
     report.set_meta("requests", static_cast<double>(r.requests));
     report.set_meta("rejects", static_cast<double>(r.rejects));
     report.set_meta("errors", static_cast<double>(r.errors));
-    report.set_metrics(obs::MetricsRegistry::global().snapshot());
+    report.set_meta("stats_scrapes", static_cast<double>(r.stats_scrapes));
+    if (lat != nullptr && lat->histogram.total > 0) {
+      const obs::HistogramData& h = lat->histogram;
+      Table lt({"metric", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"},
+               4);
+      lt.add_row({"client_latency", static_cast<double>(h.total), h.mean(),
+                  h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)});
+      report.add_table("client_latency", lt);
+    }
+    report.set_metrics(snap);
     report.write(obs::report_path("serve_loadgen"));
     std::cout << "loadgen report written to "
               << obs::report_path("serve_loadgen") << "\n";

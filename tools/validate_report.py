@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """validate_report — schema check for parsched telemetry files (stdlib only).
 
-Validates the three machine-readable formats the obs/ subsystem emits:
+Validates the machine-readable formats the obs/ subsystem emits:
 
-  BENCH_*.json       bench reports  (kind: parsched-bench-report, schema 1)
-  *.trace.json       Chrome trace-event files from TraceExporter
-  *.jsonl            JSONL event logs from TraceExporter
+  BENCH_*.json       bench reports  (kind: parsched-bench-report, schema 2)
+  *.trace.json       Chrome trace-event files from TraceExporter (schema 1)
+  *.jsonl            JSONL logs, dispatched on the header's kind:
+                       parsched-trace             TraceExporter event logs
+                       parsched-metrics-snapshot  serve --stats-interval
+                       parsched-flight-record     FlightRecorder dumps
+
+Schema history: bench reports moved 1 -> 2 when histograms grew the
+p50/p90/p99 interpolated quantile keys; the trace formats stayed at 1.
 
 Used by CI after the report smoke run; also handy locally:
 
@@ -20,7 +26,21 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = 1
+BENCH_SCHEMA = 2
+TRACE_SCHEMA = 1
+SNAPSHOT_SCHEMA = 1
+FLIGHT_SCHEMA = 1
+
+FLIGHT_EVENTS = {
+    "decision",
+    "admit",
+    "complete",
+    "guard_trip",
+    "stall",
+    "submit",
+    "dispatch",
+    "note",
+}
 
 RUN_REQUIRED = {
     "policy": str,
@@ -76,6 +96,14 @@ def check_histogram(h: dict, where: str) -> None:
                       f"total says {h['total']}")
     if bounds != sorted(bounds):
         raise Invalid(f"{where}: bounds are not sorted")
+    # The schema-2 quantile keys. Optional (snapshot lines from older
+    # writers omit them) but, when present, numeric and monotone.
+    quantiles = [q for q in ("p50", "p90", "p99") if q in h]
+    for q in quantiles:
+        need(h, q, (int, float), where)
+    values = [h[q] for q in quantiles]
+    if values != sorted(values):
+        raise Invalid(f"{where}: quantiles are not monotone: {values}")
 
 
 def check_stats(stats, where: str) -> None:
@@ -87,9 +115,20 @@ def check_stats(stats, where: str) -> None:
         check_histogram(need(stats, key, dict, where), f"{where}.{key}")
 
 
+def check_metric(metric: dict, where: str) -> None:
+    need(metric, "name", str, where)
+    kind = need(metric, "kind", str, where)
+    if kind not in ("counter", "gauge", "timer", "histogram"):
+        raise Invalid(f"{where}: unknown metric kind {kind!r}")
+    if kind == "histogram":
+        check_histogram(need(metric, "histogram", dict, where), where)
+
+
 def check_bench_report(doc: dict, where: str) -> None:
-    if need(doc, "schema", int, where) != SCHEMA:
-        raise Invalid(f"{where}: schema {doc['schema']}, expected {SCHEMA}")
+    if need(doc, "schema", int, where) != BENCH_SCHEMA:
+        raise Invalid(
+            f"{where}: schema {doc['schema']}, expected {BENCH_SCHEMA}"
+        )
     if need(doc, "kind", str, where) != "parsched-bench-report":
         raise Invalid(f"{where}: kind {doc['kind']!r}")
     need(doc, "name", str, where)
@@ -110,13 +149,7 @@ def check_bench_report(doc: dict, where: str) -> None:
                 raise Invalid(f"{tw}.rows[{j}]: {len(row)} cells for "
                               f"{len(columns)} columns")
     for i, metric in enumerate(need(doc, "metrics", list, where)):
-        mw = f"{where}.metrics[{i}]"
-        need(metric, "name", str, mw)
-        kind = need(metric, "kind", str, mw)
-        if kind not in ("counter", "gauge", "timer", "histogram"):
-            raise Invalid(f"{mw}: unknown metric kind {kind!r}")
-        if kind == "histogram":
-            check_histogram(need(metric, "histogram", dict, mw), mw)
+        check_metric(metric, f"{where}.metrics[{i}]")
 
 
 def check_chrome_trace(doc: dict, where: str) -> None:
@@ -141,12 +174,51 @@ def check_chrome_trace(doc: dict, where: str) -> None:
     if phases.get("C", 0) == 0:
         raise Invalid(f"{where}: no counter samples (alive/utilization)")
     other = need(doc, "otherData", dict, where)
-    if need(other, "schema", int, f"{where}.otherData") != SCHEMA:
-        raise Invalid(f"{where}: otherData.schema != {SCHEMA}")
+    if need(other, "schema", int, f"{where}.otherData") != TRACE_SCHEMA:
+        raise Invalid(f"{where}: otherData.schema != {TRACE_SCHEMA}")
+
+
+def check_trace_line(ev: dict, where: str, state: dict) -> None:
+    pass  # trace events carry free-form keys; the header is the contract
+
+
+def check_snapshot_line(ev: dict, where: str, state: dict) -> None:
+    seq = need(ev, "seq", int, where)
+    if seq != state["lines"] - 2:  # header is line 1, seq starts at 0
+        raise Invalid(f"{where}: seq {seq} out of order")
+    need(ev, "t", (int, float), where)
+    metrics = need(ev, "metrics", list, where)
+    for i, metric in enumerate(metrics):
+        check_metric(metric, f"{where}.metrics[{i}]")
+
+
+def check_flight_line(ev: dict, where: str, state: dict) -> None:
+    if ev["ev"] not in FLIGHT_EVENTS:
+        raise Invalid(f"{where}: unknown flight event {ev['ev']!r}")
+    seq = need(ev, "seq", int, where)
+    if state["last_seq"] is not None and seq <= state["last_seq"]:
+        raise Invalid(f"{where}: seq {seq} not increasing")
+    state["last_seq"] = seq
+    need(ev, "id", int, where)
+    for key in ("t", "v", "a"):
+        need(ev, key, (int, float), where)
+
+
+JSONL_KINDS = {
+    # header kind -> (schema, per-line check, snapshot-line ev name)
+    "parsched-trace": (TRACE_SCHEMA, check_trace_line, None),
+    "parsched-metrics-snapshot": (
+        SNAPSHOT_SCHEMA, check_snapshot_line, "snapshot"),
+    "parsched-flight-record": (FLIGHT_SCHEMA, check_flight_line, None),
+}
 
 
 def check_jsonl(path: Path) -> str:
     kinds = {}
+    state = {"lines": 0, "last_seq": None}
+    line_check = None
+    only_ev = None
+    header_kind = ""
     with path.open(encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             where = f"{path.name}:{lineno}"
@@ -156,15 +228,37 @@ def check_jsonl(path: Path) -> str:
                 raise Invalid(f"{where}: bad JSON: {exc}") from exc
             kind = need(ev, "ev", str, where)
             kinds[kind] = kinds.get(kind, 0) + 1
+            state["lines"] = lineno
             if lineno == 1:
                 if kind != "header":
                     raise Invalid(f"{where}: first line must be the header")
-                if need(ev, "schema", int, where) != SCHEMA:
-                    raise Invalid(f"{where}: schema != {SCHEMA}")
-                if need(ev, "kind", str, where) != "parsched-trace":
-                    raise Invalid(f"{where}: kind {ev['kind']!r}")
+                header_kind = need(ev, "kind", str, where)
+                if header_kind not in JSONL_KINDS:
+                    raise Invalid(f"{where}: kind {header_kind!r}")
+                schema, line_check, only_ev = JSONL_KINDS[header_kind]
+                if need(ev, "schema", int, where) != schema:
+                    raise Invalid(f"{where}: schema != {schema}")
+                if header_kind == "parsched-flight-record":
+                    for key in ("capacity", "recorded", "dropped", "events"):
+                        need(ev, key, int, where)
+                    need(ev, "reason", str, where)
+                if header_kind == "parsched-metrics-snapshot":
+                    need(ev, "interval_seconds", (int, float), where)
+                continue
+            if only_ev is not None and kind != only_ev:
+                raise Invalid(f"{where}: ev {kind!r}, expected {only_ev!r}")
+            line_check(ev, where, state)
     if kinds.get("header", 0) != 1:
         raise Invalid(f"{path.name}: expected exactly one header line")
+    if header_kind == "parsched-flight-record":
+        body = sum(kinds.values()) - 1
+        # The header promised a count; a truncated dump must not validate.
+        # (Re-read the header rather than carrying it in state.)
+        with path.open(encoding="utf-8") as fh:
+            promised = json.loads(fh.readline())["events"]
+        if body != promised:
+            raise Invalid(f"{path.name}: header promises {promised} "
+                          f"events, file has {body}")
     return f"{sum(kinds.values())} lines, kinds {kinds}"
 
 
