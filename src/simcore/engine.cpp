@@ -46,6 +46,10 @@ Engine::Engine(int machines, EngineConfig config)
     throw std::invalid_argument("engine speed must be positive");
   }
   audit_allocs_ = env::get_flag("PARSCHED_AUDIT");
+  // The incremental arm rides on the cache's memo protocol (the heaps
+  // fill the cache-owned order buffers), so it is only armed when both
+  // knobs are on. cfg_ is immutable after construction.
+  inc_on_ = cfg_.use_context_cache && cfg_.use_incremental_orders;
 }
 
 void Engine::add_observer(Observer* obs) {
@@ -87,6 +91,7 @@ void Engine::begin_run(Scheduler& sched) {
   zero_dt_streak_ = 0;
   alloc_warm_n_ = 0;
   flow_q_.clear();
+  inc_orders_.clear();
   rates_valid_ = false;
   stats_ = nullptr;
   // Profiling is opt-in: with collect_stats off (the default) `stats_` is
@@ -174,6 +179,12 @@ void Engine::admit_job_now(Job j) {
   // steps never touched. Reserving to the high-water mark here makes
   // every path allocation-free regardless of where the switch lands.
   ctx_cache_.reserve(alive_.size());
+  // Incremental arm: pre-pay heap growth here too (outside the guarded
+  // scopes), then push the new job — one O(log n) sift per heap.
+  if (inc_on_) {
+    inc_orders_.reserve(alive_.size());
+    inc_orders_.insert(alive_.back(), alive_.size() - 1);
+  }
   ++result_.events;
   if (cfg_.recorder != nullptr) {
     cfg_.recorder->record(obs::FlightEvent::kAdmit,
@@ -225,6 +236,7 @@ PARSCHED_HOT void Engine::compute_rates(bool validate) {
   const Allocation& alloc = cached_alloc_;
   double dt_complete = kInf;
   double sum = 0.0;
+  std::size_t nonzero = 0;
   rates_.resize(alive_.size());
   for (std::size_t i = 0; i < alive_.size(); ++i) {
     const double s = alloc.shares[i];
@@ -240,6 +252,7 @@ PARSCHED_HOT void Engine::compute_rates(bool validate) {
                  : 0.0;
     rates_[i] = r;
     if (r > 0.0) {
+      ++nonzero;
       // The end of the current *phase* is the next per-job event (for a
       // single-phase job that is its completion).
       dt_complete = std::min(dt_complete, alive_[i].phase_remaining / r);
@@ -250,6 +263,7 @@ PARSCHED_HOT void Engine::compute_rates(bool validate) {
                            sched_->name());
   }
   dt_complete_ = dt_complete;
+  rates_nonzero_ = nonzero;
   rates_valid_ = true;
 }
 
@@ -268,7 +282,8 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
     }
     ctx_cache_.invalidate();
     SchedulerContext ctx(now_, m_, alive_, &ctx_cache_,
-                         cfg_.use_context_cache);
+                         cfg_.use_context_cache,
+                         inc_on_ ? &inc_orders_ : nullptr);
     // PARSCHED_AUDIT: warm allocate+rates sections must not touch the
     // heap — every scratch buffer is capacity-stable once a step at this
     // alive count has completed. (A policy-error throw inside the scope
@@ -364,6 +379,25 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
     sweep_fence.emplace("Engine decision step: advance sweep");
   }
   const double ctol = cfg_.completion_tol;
+  // Incremental arm: pick the key-maintenance mode for this sweep. With
+  // a sparse allocation (SRPT-style: at most m of n jobs run) each
+  // changed key costs one O(log n) sift; when most keys move at once
+  // (EQUI-style dense allocations, > n/8 nonzero rates) n sifts lose to
+  // one O(n) rebuild, so declare a lazy-decay epoch instead — the SRPT
+  // heap goes stale and is regathered at the next query (never, for
+  // policies that only consume latest-arrival order, whose keys are
+  // immutable). dt == 0 moves no key, and a heap already stale stays
+  // stale for free.
+  bool inc_eager = false;
+  // Exact-zero test on purpose: dt == 0 steps (simultaneous events)
+  // change no remaining-work key bit, so the heaps need no maintenance.
+  if (inc_on_ && dt != 0.0 && !inc_orders_.srpt_stale()) {  // lint: float-eq-ok
+    if (rates_nonzero_ * 8 > alive_.size()) {
+      inc_orders_.decay_epoch();
+    } else {
+      inc_eager = true;
+    }
+  }
   for (std::size_t i = 0; i < alive_.size(); ++i) {
     const double r = rates_[i];
     FlowQ& fq = flow_q_[i];
@@ -379,6 +413,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
       result_.fractional_flow += 0.5 * (before + after) / a.size * dt;
       a.remaining = after;
       a.phase_remaining = std::max(0.0, a.phase_remaining - r * dt);
+      if (inc_eager) inc_orders_.update_remaining(i, after);
     } else {
       // First visit at rate 0 (admission / restore): same arithmetic as
       // the r != 0 arm with the r*dt terms — exactly 0.0 here — elided.
@@ -447,6 +482,10 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
         }
         result_.records.push_back(std::move(rec));
         --end;
+        // Mirror the swap-remove into the heaps: delete index i, remap
+        // the back entry (alive index `end`) to i — the same move the
+        // alive_/flow_q_ lines below perform. O(log n) per heap.
+        if (inc_on_) inc_orders_.remove_swap(i, end);
         if (i == end) break;
         alive_[i] = std::move(alive_[end]);
         flow_q_[i] = flow_q_[end];
@@ -507,6 +546,12 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
     record_failure(false, stuck, "simulation_stall");
     throw SimulationStall(now_, os.str());
   }
+  // PARSCHED_AUDIT: after every advanced step, cross-check the
+  // persistent heaps against the alive set — key payloads, position
+  // maps and both heap properties (O(n), audit runs only). A divergence
+  // here trips a contract failure at the step that caused it instead of
+  // surfacing decisions later as a wrong ordering.
+  if (audit_allocs_ && inc_on_) inc_orders_.audit(alive_);
   if (cfg_.recorder != nullptr) {
     cfg_.recorder->record(obs::FlightEvent::kDecision, result_.decisions,
                           now_, dt,
@@ -695,6 +740,11 @@ void Engine::import_state(const EngineState& s, Scheduler& sched) {
   flow_q_.assign(alive_.size(), FlowQ{});  // memos rebuild lazily
   comp_idx_.reserve(alive_.size());
   ctx_cache_.reserve(alive_.size());
+  // The heaps are derived state: rebuild the latest-arrival heap from
+  // the restored alive set now and leave the SRPT side lazily stale —
+  // the first SRPT query regathers it, bit-identically to the donor.
+  inc_orders_.clear();
+  if (inc_on_) inc_orders_.rebuild(alive_);
   rates_valid_ = false;  // a deferred decision recomputes its rates once
   stats_ = nullptr;  // profiling does not continue across a restore
   run_start_ = 0.0;

@@ -16,6 +16,7 @@
 #include <vector>
 #include <unordered_set>
 
+#include "simcore/incremental.hpp"
 #include "simcore/instance.hpp"
 #include "simcore/observer.hpp"
 #include "simcore/result.hpp"
@@ -53,6 +54,19 @@ struct EngineConfig {
   /// simulation semantics: not serialized in snapshots, not checked by
   /// import_state().
   bool use_context_cache = true;
+  /// Maintain the persistent IncrementalOrders heaps
+  /// (simcore/incremental.hpp) across events and serve the cache's
+  /// ordering helpers from them: O(log n) maintenance per
+  /// admit/advance/complete plus O(k log k) per query instead of an
+  /// O(n log n) rebuild every decision. Only meaningful with
+  /// use_context_cache on (the cache still owns the per-decision memo);
+  /// off, the cache falls back to its own sort/selection paths. A third
+  /// differentially-tested arm beside ContextCache and refimpl:: —
+  /// bit-identical results by construction (the tie-break comparators
+  /// are shared; tests/test_incremental.cpp is the proof). Like
+  /// use_context_cache, not part of the simulation semantics: not
+  /// serialized in snapshots, not checked by import_state().
+  bool use_incremental_orders = true;
   /// Collect per-run profiling (SimResult::stats): wall time split into
   /// policy-decide / event-solver / observer buckets plus decision-
   /// interval and alive-count histograms. Off by default — the
@@ -231,6 +245,20 @@ class Engine final : public EngineView {
   // and all of it is deliberately absent from EngineState.
   std::vector<double> rates_;
   ContextCache ctx_cache_;
+  /// Persistent ordering heaps (the incremental arm). Unlike the rest of
+  /// this scratch block the heaps carry state *across* decision steps —
+  /// but still derived state: every key is recomputable from alive_, and
+  /// import_state()/begin_run() rebuild them, so they stay out of
+  /// EngineState like the cache. Maintained and queried only when
+  /// inc_on_ (use_context_cache && use_incremental_orders, fixed at
+  /// construction).
+  IncrementalOrders inc_orders_;
+  bool inc_on_ = false;
+  /// Jobs with a nonzero rate in the current decision (set by
+  /// compute_rates): the advance sweep uses it to pick between per-job
+  /// O(log n) heap updates and one lazy-decay epoch when most keys move
+  /// at once (> n/8, where n sifts start losing to one O(n) rebuild).
+  std::size_t rates_nonzero_ = 0;
   std::vector<std::size_t> completion_order_;  // new-record indices, id-sorted
   std::vector<std::size_t> comp_idx_;  // this step's completed positions, asc
   /// Per-job fast-path memo for the advance loop, index-aligned with

@@ -1,0 +1,133 @@
+// parsched — persistent-across-events ordering indexes.
+//
+// Every decision step needs (prefixes of) two strict total orders over
+// the alive set: SRPT order (remaining, release, id) and latest-arrival
+// order (release, id descending). The ContextCache memoizes one sort per
+// ordering per *decision*, but each decision still rebuilds from scratch:
+// O(n log n) per step, which caps dense-alive runs (n = 10⁵–10⁶) well
+// below the rate the serve layer generates. This class keeps both orders
+// *across* decisions as a pair of intrusive binary heaps, so the
+// per-event maintenance cost is O(log n):
+//
+//   admit       → one sift-up per heap
+//   complete    → one heap-delete per heap (mirroring the engine's
+//                 swap-remove of alive_, so entry indexes track alive
+//                 indexes exactly)
+//   advance     → one sift per job whose remaining work changed — or,
+//                 when a step changes most keys at once (an EQUI-style
+//                 allocation runs every job), one lazy-decay epoch: the
+//                 SRPT heap is marked stale and rebuilt in O(n) at the
+//                 next query, which is cheaper than n sift-downs and
+//                 free for policies that never ask for SRPT order.
+//
+// The latest-arrival keys are immutable after admission, so that heap is
+// never stale. Queries never mutate keys: a k-prefix is produced by a
+// bounded traversal of the heap (a candidate min-heap over heap slots,
+// O(k log k) after the O(1) root), and a full order by sorting a compact
+// copy of the key array — same flat-key comparators as the ContextCache
+// sort paths (SrptKeyLess / LatestKeyLess in scheduler.hpp, the single
+// definition of both tie-break orders), so the produced index sequences
+// are identical to refimpl:: entry for entry. tests/test_incremental.cpp
+// holds the three-way differential proof.
+//
+// Allocation discipline (PR 6 contract): reserve(n) pre-sizes every
+// internal buffer with geometric growth; the engine calls it at
+// admission alongside ContextCache::reserve, after which every query and
+// update — including a stale rebuild — is allocation-free and safe
+// inside the engine's AllocGuard fences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simcore/scheduler.hpp"
+
+namespace parsched {
+
+class IncrementalOrders {
+ public:
+  /// Drop every entry (a new run is starting). Keeps buffer capacity.
+  void clear();
+
+  /// Pre-size every internal buffer for up to `n` alive jobs (geometric
+  /// growth, amortized O(1) per admission). Must be called with the new
+  /// alive count before insert() so the heap push lands in reserved
+  /// storage — the engine does this outside its AllocGuard fences.
+  void reserve(std::size_t n);
+
+  /// Rebuild both heaps from scratch over `alive` (snapshot restore).
+  /// The SRPT side is left stale — it is regathered lazily at the first
+  /// query, exactly like a decay epoch.
+  void rebuild(std::span<const AliveJob> alive);
+
+  /// Admit: `job` was just appended to the alive set at index `idx`
+  /// (== previous size). O(log n) per heap.
+  void insert(const AliveJob& job, std::size_t idx);
+
+  /// The job at alive index `idx` now has `remaining` unprocessed work.
+  /// O(log n); a no-op while the SRPT heap is stale (the pending rebuild
+  /// re-reads every key from the alive set anyway).
+  void update_remaining(std::size_t idx, double remaining);
+
+  /// Complete: mirror of the engine's swap-remove. The job at alive
+  /// index `idx` is gone and the job previously at index `last` (the
+  /// back of the alive array before the removal) now lives at `idx`;
+  /// idx == last removes the back element. O(log n) per heap.
+  void remove_swap(std::size_t idx, std::size_t last);
+
+  /// Lazy-decay epoch: most remaining-work keys just changed at once, so
+  /// per-key sifts would cost more than a rebuild. Marks the SRPT heap
+  /// stale; the next SRPT query regathers keys from the alive set and
+  /// re-heapifies in O(n). Policies that never query SRPT order (EQUI,
+  /// LAPS) never pay the rebuild.
+  void decay_epoch() {
+    srpt_stale_ = true;
+    ++decay_epochs_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return latest_.size(); }
+  [[nodiscard]] bool srpt_stale() const { return srpt_stale_; }
+  /// Telemetry: decay epochs declared since clear() (stale-rebuild cap).
+  [[nodiscard]] std::uint64_t decay_epochs() const { return decay_epochs_; }
+
+  /// Alive index of the SRPT-least job (heap root). Requires size() > 0.
+  [[nodiscard]] std::size_t min_srpt(std::span<const AliveJob> alive);
+
+  /// Write the first min(want, size) alive indexes of the SRPT order
+  /// into `out` (caller-sized to at least that many entries).
+  void fill_srpt(std::span<const AliveJob> alive, std::size_t want,
+                 std::size_t* out);
+
+  /// Same for the latest-arrival order. Never triggers a rebuild: the
+  /// keys are immutable after admission.
+  void fill_latest(std::size_t want, std::size_t* out);
+
+  /// Audit (PARSCHED_AUDIT): every heap entry matches the alive set, the
+  /// position maps are mutually consistent, and both heap properties
+  /// hold. Trips a PARSCHED_CHECK on any violation. O(n).
+  void audit(std::span<const AliveJob> alive) const;
+
+ private:
+  // Heap entries are the ContextCache flat keys: compact (24/16 bytes),
+  // and already carrying the alive index the queries scatter out.
+  using SrptEntry = ContextCache::SrptKey;
+  using LatestEntry = ContextCache::LatestKey;
+
+  void ensure_srpt_fresh(std::span<const AliveJob> alive);
+
+  // Min-heaps in Less order, entry idx -> slot tracked in the pos maps.
+  std::vector<SrptEntry> srpt_;
+  std::vector<LatestEntry> latest_;
+  std::vector<std::uint32_t> srpt_pos_;
+  std::vector<std::uint32_t> latest_pos_;
+  std::vector<std::uint32_t> cand_;  ///< top-k traversal: heap-slot heap
+  // Full-order queries sort a compact copy (the live arrays must keep
+  // their heap shape — queries never mutate keys).
+  std::vector<SrptEntry> srpt_scratch_;
+  std::vector<LatestEntry> latest_scratch_;
+  bool srpt_stale_ = true;  ///< rebuilt lazily at the next SRPT query
+  std::uint64_t decay_epochs_ = 0;
+};
+
+}  // namespace parsched

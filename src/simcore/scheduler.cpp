@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "check/contract.hpp"
+#include "simcore/incremental.hpp"
 
 namespace parsched {
 
@@ -32,26 +33,12 @@ struct LatestLess {
   }
 };
 
-/// Flat-key counterparts. The key structs carry the job id, so these
-/// induce exactly the same strict total orders as SrptLess/LatestLess
-/// above — the differential tests in tests/test_context_cache.cpp pin
-/// this equivalence.
-struct SrptKeyLess {
-  bool operator()(const ContextCache::SrptKey& a,
-                  const ContextCache::SrptKey& b) const {
-    if (a.remaining != b.remaining) return a.remaining < b.remaining;
-    if (a.release != b.release) return a.release < b.release;
-    return a.id < b.id;
-  }
-};
-
-struct LatestKeyLess {
-  bool operator()(const ContextCache::LatestKey& a,
-                  const ContextCache::LatestKey& b) const {
-    if (a.release != b.release) return a.release > b.release;
-    return a.id > b.id;
-  }
-};
+// The flat-key counterparts SrptKeyLess/LatestKeyLess live in
+// scheduler.hpp: they are the canonical definition of both tie-break
+// orders, shared with the IncrementalOrders heaps, and induce exactly
+// the same strict total orders as SrptLess/LatestLess above — the
+// differential tests in tests/test_context_cache.cpp and
+// tests/test_incremental.cpp pin this equivalence.
 
 /// In-place twins of the refimpl:: functions, backing the cache-less
 /// fallback path. Same iota + sort / nth_element arithmetic over the
@@ -187,6 +174,21 @@ PARSCHED_HOT std::span<const std::size_t> SchedulerContext::srpt_span(
       (c.srpt_ == ContextCache::Memo::kPrefix && c.srpt_prefix_ >= want);
   if (have_enough) return {c.srpt_order_.data(), want};
 
+  // Incremental arm: read the prefix straight out of the engine's
+  // persistent SRPT heap — O(k log k) after the across-decisions O(log n)
+  // maintenance, no re-sort of the alive set. The heap's comparator is
+  // the same SrptKeyLess, so the produced prefix is identical entry for
+  // entry to the sort/selection paths below (strict total order ⇒ unique
+  // k-prefix), and the memo upgrade protocol is unchanged.
+  if (inc_ != nullptr) {
+    c.srpt_order_.resize(n);
+    inc_->fill_srpt(alive_, want, c.srpt_order_.data());
+    c.srpt_ =
+        want_full ? ContextCache::Memo::kFull : ContextCache::Memo::kPrefix;
+    c.srpt_prefix_ = want;
+    return {c.srpt_order_.data(), want};
+  }
+
   // Small-k fast path: one sweep over alive_ with a bounded max-heap of
   // the k best keys so far. The k smallest elements of a strict total
   // order form a unique set, so (after the final sort) this yields
@@ -255,6 +257,22 @@ PARSCHED_HOT std::span<const std::size_t> SchedulerContext::latest_span(
   const std::size_t n = alive_.size();
   const bool want_full = k >= n;
   const std::size_t want = want_full ? n : k;
+  // Incremental arm: latest-arrival keys are immutable after admission,
+  // so the heap is never stale — serve any not-yet-memoized width from
+  // it directly (same LatestKeyLess order, identical index sequences).
+  if (inc_ != nullptr) {
+    const bool have_enough =
+        c.latest_ == ContextCache::Memo::kFull ||
+        (c.latest_ == ContextCache::Memo::kPrefix && c.latest_prefix_ >= want);
+    if (!have_enough) {
+      c.latest_order_.resize(n);
+      inc_->fill_latest(want, c.latest_order_.data());
+      c.latest_ =
+          want_full ? ContextCache::Memo::kFull : ContextCache::Memo::kPrefix;
+      c.latest_prefix_ = want;
+    }
+    return {c.latest_order_.data(), want};
+  }
   if (c.latest_ == ContextCache::Memo::kNone) {
     c.latest_keys_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -314,6 +332,11 @@ PARSCHED_HOT std::size_t SchedulerContext::min_remaining() const {
     // An SRPT prefix of any length already starts with the minimum.
     if (c.srpt_ != ContextCache::Memo::kNone && c.srpt_prefix_ > 0) {
       c.min_idx_ = c.srpt_order_[0];
+    } else if (inc_ != nullptr) {
+      // Heap root: O(1) on a fresh heap, one O(n) heapify after a decay
+      // epoch — either way the same index the refimpl scan returns,
+      // because SrptKeyLess and SrptLess agree everywhere.
+      c.min_idx_ = inc_->min_srpt(alive_);
     } else {
       c.min_idx_ = refimpl::min_remaining(alive_);
     }

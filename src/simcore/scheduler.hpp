@@ -157,6 +157,31 @@ class ContextCache {
   bool min_valid_ = false;
 };
 
+/// Canonical strict-total-order comparators over the flat keys — the
+/// single definition of both tie-break orders. Shared by the ContextCache
+/// sort/selection paths (scheduler.cpp), the IncrementalOrders heaps
+/// (simcore/incremental.hpp) and the differential tests, so every arm of
+/// the engine breaks ties identically; the key structs carry the job id,
+/// making both orders strict total orders with unique k-prefixes.
+struct SrptKeyLess {
+  bool operator()(const ContextCache::SrptKey& a,
+                  const ContextCache::SrptKey& b) const {
+    if (a.remaining != b.remaining) return a.remaining < b.remaining;
+    if (a.release != b.release) return a.release < b.release;
+    return a.id < b.id;
+  }
+};
+
+struct LatestKeyLess {
+  bool operator()(const ContextCache::LatestKey& a,
+                  const ContextCache::LatestKey& b) const {
+    if (a.release != b.release) return a.release > b.release;
+    return a.id > b.id;
+  }
+};
+
+class IncrementalOrders;
+
 /// What a policy sees at a decision point.
 ///
 /// The ordering helpers return spans into storage owned by the attached
@@ -173,13 +198,27 @@ class SchedulerContext {
   /// but fill the cache's reusable fallback buffers instead of
   /// allocating: that is the engine's use_context_cache = false mode,
   /// which must stay allocation-free under PARSCHED_AUDIT.
+  ///
+  /// `inc` optionally attaches the engine's persistent IncrementalOrders
+  /// heaps (simcore/incremental.hpp): the memoized helpers then read
+  /// their orderings from the heaps in O(k log k) instead of re-sorting
+  /// the alive set, producing the same index sequences entry for entry
+  /// (the comparators are shared). Requires an attached cache with
+  /// memoization on — the memo still owns the result buffers.
   SchedulerContext(double time, int machines, std::span<const AliveJob> alive,
-                   ContextCache* cache = nullptr, bool memoize = true)
+                   ContextCache* cache = nullptr, bool memoize = true,
+                   IncrementalOrders* inc = nullptr)
       : time_(time),
         machines_(machines),
         alive_(alive),
         cache_(cache),
-        memoize_(memoize) {}
+        memoize_(memoize),
+        inc_(inc) {
+    if (inc_ != nullptr && (cache_ == nullptr || !memoize_)) {
+      throw std::logic_error(
+          "SchedulerContext: incremental orders require a memoizing cache");
+    }
+  }
 
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] int machines() const { return machines_; }
@@ -215,6 +254,7 @@ class SchedulerContext {
   std::span<const AliveJob> alive_;
   ContextCache* cache_;
   bool memoize_ = true;
+  IncrementalOrders* inc_ = nullptr;
   // Fallback storage backing the returned spans when cache_ == nullptr
   // (contexts built by hand, e.g. differential tests; with a cache the
   // fill path writes the cache's fb_* buffers instead). One buffer per

@@ -53,6 +53,16 @@ def report():
                 "rows": [[1000, 1.2]],
             },
             {
+                "name": "incremental_orders",
+                "columns": ["n", "decisions", "decisions_per_sec_rebuild",
+                            "decisions_per_sec_incremental",
+                            "decide_speedup"],
+                "rows": [
+                    [100000, 320, 800.0, 1600.0, 16.0],
+                    [1000000, 48, 40.0, 85.0, 12.0],
+                ],
+            },
+            {
                 "name": "client_latency",
                 "columns": ["metric", "mean_ms", "p50_ms", "p95_ms",
                             "p99_ms"],
@@ -76,12 +86,23 @@ def report():
 
 
 def scale_rates(doc, factor):
-    """Uniform machine-speed change: rates and latencies move together."""
+    """Uniform machine-speed change: rates and latencies move together.
+
+    decide_speedup stays fixed — a paired same-machine ratio does not
+    move with machine speed, which is exactly why it must be gated by an
+    absolute floor and not a relative (auto-scaled) band.
+    """
     for t in doc["tables"]:
         if t["name"] == "dense_alive":
             i = t["columns"].index("decisions_per_sec")
             for row in t["rows"]:
                 row[i] *= factor
+        if t["name"] == "incremental_orders":
+            for col in ("decisions_per_sec_rebuild",
+                        "decisions_per_sec_incremental"):
+                i = t["columns"].index(col)
+                for row in t["rows"]:
+                    row[i] *= factor
         if t["name"] == "client_latency":
             for col in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
                 i = t["columns"].index(col)
@@ -139,9 +160,25 @@ def main() -> int:
         return doc
 
     def p99_spike(doc):
-        t = doc["tables"][2]
+        t = doc["tables"][3]
         i = t["columns"].index("p99_ms")
         t["rows"][0][i] *= 1.5
+        return doc
+
+    def incremental_rate_regressed(doc):
+        # The incremental arm's decision rate drops 30% while every
+        # sibling gate holds — must fail even under calibration.
+        t = doc["tables"][2]
+        i = t["columns"].index("decisions_per_sec_incremental")
+        t["rows"][0][i] *= 0.7
+        return doc
+
+    def decide_speedup_floor_broken(doc):
+        # The paired decide-phase ratio falls below the 5x acceptance
+        # floor: an absolute candidate-only verdict, like overhead_pct.
+        t = doc["tables"][2]
+        i = t["columns"].index("decide_speedup")
+        t["rows"][0][i] = 3.4
         return doc
 
     cases = [
@@ -155,6 +192,14 @@ def main() -> int:
         ("overhead_blown", overhead_blown, ["--auto-scale"], 1),
         ("p99_spike", p99_spike, ["--auto-scale", "--tolerance=0.15"], 1),
         ("p99_spike_loose", p99_spike, ["--tolerance=0.60"], 0),
+        ("incremental_rate_regressed", incremental_rate_regressed,
+         ["--auto-scale"], 1),
+        ("decide_speedup_floor_broken", decide_speedup_floor_broken,
+         ["--auto-scale"], 1),
+        # The floor is candidate-only: a *baseline* whose speedup column
+        # later improves must not be read as a regression band.
+        ("decide_speedup_floor_loose_tolerance",
+         decide_speedup_floor_broken, ["--tolerance=0.99"], 1),
     ]
 
     with tempfile.TemporaryDirectory(prefix="parsched-gate-") as tmp:

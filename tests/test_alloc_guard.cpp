@@ -2,11 +2,14 @@
 // verifier — and the engine's PARSCHED_AUDIT=1 fences around its decision
 // steps.
 //
-// The final two tests are the PR's regression proof: a dense-alive
+// The final tests are the PR's regression proof: a dense-alive
 // n=10'000 instance driven to completion with the audit fences armed
 // performs zero heap allocations across >= 10'000 warm decision steps —
-// once with the ContextCache lent to policies and once with the
-// refimpl-twin fallback path (use_context_cache = false).
+// across every engine arm: the persistent IncrementalOrders heaps, the
+// ContextCache sort paths (incremental off), and the refimpl-twin
+// fallback path (use_context_cache = false). The incremental runs also
+// execute the engine-side heap audit (IncrementalOrders::audit) at every
+// decision, so heap-vs-alive consistency is checked 10'000 times per run.
 //
 // Every allocation-counting test skips itself when the counting operator
 // new/delete replacement is compiled out (PARSCHED_ALLOC_HOOK=OFF, e.g.
@@ -225,13 +228,14 @@ Instance dense_alive_instance(std::size_t n) {
 /// Drives the dense-alive instance to completion with the audit fences
 /// armed; any allocation in a warm decision step throws ContractViolation
 /// and fails the test. Returns the number of guarded scopes entered.
-std::uint64_t run_audited(bool use_cache) {
+std::uint64_t run_audited(bool use_cache, bool use_incremental) {
   setenv("PARSCHED_AUDIT", "1", 1);
   const std::uint64_t scopes_before = alloc_guard_scopes_entered();
   const Instance inst = dense_alive_instance(10'000);
   auto sched = make_scheduler("isrpt");
   EngineConfig cfg;
   cfg.use_context_cache = use_cache;
+  cfg.use_incremental_orders = use_incremental;
   const SimResult r = simulate(inst, *sched, cfg);
   unsetenv("PARSCHED_AUDIT");
   EXPECT_EQ(r.jobs(), 10'000u);
@@ -242,15 +246,37 @@ std::uint64_t run_audited(bool use_cache) {
   return alloc_guard_scopes_entered() - scopes_before;
 }
 
+TEST(EngineAllocAudit, DenseAliveRunIsAllocationFreeWithIncrementalOrders) {
+  SKIP_WITHOUT_HOOK();
+  // Heap maintenance (insert / update_remaining / remove_swap / lazy
+  // rebuilds) runs inside the fences: all of it must live in storage
+  // pre-paid by IncrementalOrders::reserve at admission.
+  const std::uint64_t scopes = run_audited(/*use_cache=*/true,
+                                           /*use_incremental=*/true);
+  EXPECT_GE(scopes, 10'000u);
+}
+
 TEST(EngineAllocAudit, DenseAliveRunIsAllocationFreeWithContextCache) {
   SKIP_WITHOUT_HOOK();
-  const std::uint64_t scopes = run_audited(/*use_cache=*/true);
+  const std::uint64_t scopes = run_audited(/*use_cache=*/true,
+                                           /*use_incremental=*/false);
   EXPECT_GE(scopes, 10'000u);
 }
 
 TEST(EngineAllocAudit, DenseAliveRunIsAllocationFreeWithFallbackPath) {
   SKIP_WITHOUT_HOOK();
-  const std::uint64_t scopes = run_audited(/*use_cache=*/false);
+  const std::uint64_t scopes = run_audited(/*use_cache=*/false,
+                                           /*use_incremental=*/false);
+  EXPECT_GE(scopes, 10'000u);
+}
+
+TEST(EngineAllocAudit, IncrementalFlagIsInertWithoutContextCache) {
+  SKIP_WITHOUT_HOOK();
+  // use_incremental_orders without use_context_cache must gate off
+  // cleanly (the heaps need the cache's memo to serve queries from):
+  // the run takes the refimpl fallback path and stays allocation-free.
+  const std::uint64_t scopes = run_audited(/*use_cache=*/false,
+                                           /*use_incremental=*/true);
   EXPECT_GE(scopes, 10'000u);
 }
 

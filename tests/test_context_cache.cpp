@@ -62,6 +62,18 @@ SimResult run_with_cache(const Instance& inst, const std::string& policy,
   return simulate(inst, *sched, cfg);
 }
 
+// PR 8 added a third arm: the persistent IncrementalOrders heaps behind
+// use_incremental_orders (default on — the cached runs above already
+// exercise them). This helper names all three arms explicitly.
+SimResult run_engine_arm(const Instance& inst, const std::string& policy,
+                         bool use_cache, bool use_incremental) {
+  auto sched = make_scheduler(policy);
+  EngineConfig cfg;
+  cfg.use_context_cache = use_cache;
+  cfg.use_incremental_orders = use_incremental;
+  return simulate(inst, *sched, cfg);
+}
+
 // E1-style grid: fixed alpha = 0.5, critically loaded.
 RandomWorkloadConfig e1_config(std::uint64_t seed) {
   RandomWorkloadConfig cfg;
@@ -113,29 +125,57 @@ TEST(ContextCacheDifferential, AllPoliciesBitIdenticalOnE5Grid) {
   }
 }
 
+// Explicit three-arm sweep on both experiment grids: the incremental
+// heaps and the cache-only sort paths must each match the refimpl arm
+// for every policy family. (The E1/E5 tests above pin incremental-on vs
+// refimpl via the defaults; this one also pins incremental-off, so a
+// regression in either non-reference arm is named directly.)
+TEST(ContextCacheDifferential, IncrementalSweepAllArmsAgreeOnBothGrids) {
+  for (const bool on_e1 : {true, false}) {
+    const Instance inst = on_e1 ? make_random_instance(e1_config(21))
+                                : make_random_instance(e5_config(22));
+    for (const char* policy : kAllPolicies) {
+      const std::string what = std::string(on_e1 ? "E1 " : "E5 ") + policy;
+      const SimResult ref = run_engine_arm(inst, policy, false, false);
+      expect_bit_identical(run_engine_arm(inst, policy, true, true), ref,
+                           what + " incremental arm");
+      expect_bit_identical(run_engine_arm(inst, policy, true, false), ref,
+                           what + " cache-only arm");
+    }
+  }
+}
+
 // The serve/-facing streaming path runs the same decision_step; drive it
 // with incremental admission + advances and compare against the batch
 // reference arm. Covers the deferred-allocation resume path (advances
-// that split between events) on both sides of the cache switch.
+// that split between events) on both sides of the cache switch, with the
+// incremental heaps on and off (deferral parks a decision mid-step, so
+// heap maintenance must straddle the park/resume boundary correctly).
 TEST(ContextCacheDifferential, StreamingMatchesUncachedBatch) {
   const Instance inst = make_random_instance(e1_config(5));
   for (const char* policy : {"isrpt", "laps:0.5", "quantized-equi:0.5"}) {
     const SimResult ref = run_with_cache(inst, policy, false);
 
-    auto sched = make_scheduler(policy);
-    Engine eng(inst.machines(), EngineConfig{});  // cache on by default
-    eng.begin(*sched);
-    double t = 0.0;
-    for (const Job& j : inst.jobs()) {
-      eng.admit(j);
-      // Ragged advances: some land between arrivals, some batch up.
-      if ((j.id % 3) == 0) {
-        t = std::max(t, j.release * 0.75);
-        eng.advance_to(t);
+    for (const bool use_incremental : {true, false}) {
+      auto sched = make_scheduler(policy);
+      EngineConfig cfg;  // cache on by default
+      cfg.use_incremental_orders = use_incremental;
+      Engine eng(inst.machines(), cfg);
+      eng.begin(*sched);
+      double t = 0.0;
+      for (const Job& j : inst.jobs()) {
+        eng.admit(j);
+        // Ragged advances: some land between arrivals, some batch up.
+        if ((j.id % 3) == 0) {
+          t = std::max(t, j.release * 0.75);
+          eng.advance_to(t);
+        }
       }
+      const SimResult streamed = eng.finish();
+      expect_bit_identical(streamed, ref,
+                           std::string("streaming ") + policy +
+                               (use_incremental ? " inc-on" : " inc-off"));
     }
-    const SimResult streamed = eng.finish();
-    expect_bit_identical(streamed, ref, std::string("streaming ") + policy);
   }
 }
 

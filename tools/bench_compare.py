@@ -19,13 +19,21 @@ Gates extracted from a report:
 
   * every `decisions_per_sec` column of a `dense_alive` table row
     (higher is better), keyed by the row's n;
+  * the `decisions_per_sec_incremental` column of an
+    `incremental_orders` table row (higher is better), keyed by n — the
+    incremental-heaps arm must not lose ground against the clock;
   * the `mean_ms` / `p50_ms` / `p95_ms` / `p99_ms` columns of a
     `client_latency` table (lower is better);
   * the p50/p99 bucket quantiles of any histogram metric whose name
     ends in `latency_ms` (lower is better);
   * the `overhead_pct` column of a `flight_recorder_overhead` table is
     an ABSOLUTE cap (<= 3.0), not a relative band — the recorder budget
-    holds against the candidate alone, whatever the baseline measured.
+    holds against the candidate alone, whatever the baseline measured;
+  * the `decide_speedup` column of an `incremental_orders` table is an
+    ABSOLUTE floor (>= 5.0), not a relative band: the paired
+    same-machine ratio is machine-independent (it would skew the
+    --auto-scale calibration as a relative gate), and the acceptance
+    bar holds against the candidate alone.
 
 Baselines are committed from one reference machine and candidates run
 on whatever CI hands out, so absolute rates are incomparable across the
@@ -73,6 +81,13 @@ RUN_EXACT_FIELDS = (
 # direction: "higher" = higher is better, "lower" = lower is better.
 TABLE_GATES = {
     "dense_alive": ("n", [("decisions_per_sec", "higher")]),
+    # decide_speedup deliberately absent here: a same-machine paired
+    # ratio is machine-independent and would skew --auto-scale; it is
+    # gated by the absolute floor below instead.
+    "incremental_orders": (
+        "n",
+        [("decisions_per_sec_incremental", "higher")],
+    ),
     "client_latency": (
         "metric",
         [
@@ -87,6 +102,13 @@ TABLE_GATES = {
 # table name -> (cap column, cap value): candidate-only absolute bound.
 TABLE_CAPS = {
     "flight_recorder_overhead": ("overhead_pct", 3.0),
+}
+
+# table name -> (floor column, floor value): candidate-only absolute
+# lower bound, for paired same-machine ratios that carry an acceptance
+# bar of their own (no baseline needed to judge them).
+TABLE_FLOORS = {
+    "incremental_orders": ("decide_speedup", 5.0),
 }
 
 HISTOGRAM_QUANTILE_GATES = ("p50", "p99")
@@ -201,6 +223,20 @@ def check_caps(cand: dict, problems: list) -> None:
                 problems.append(
                     f"{name}[{row[0]}].{col} = {row[idx]} exceeds the "
                     f"absolute cap {cap}"
+                )
+    for name, (col, floor) in TABLE_FLOORS.items():
+        ct = table_by_name(cand, name)
+        if ct is None:
+            continue
+        cols = ct.get("columns", [])
+        if col not in cols:
+            continue
+        idx = cols.index(col)
+        for row in ct.get("rows", []):
+            if float(row[idx]) < floor:
+                problems.append(
+                    f"{name}[{row[0]}].{col} = {row[idx]} below the "
+                    f"absolute floor {floor}"
                 )
 
 
