@@ -77,6 +77,10 @@ std::string_view flight_event_name(FlightEvent ev) {
       return "dispatch";
     case FlightEvent::kNote:
       return "note";
+    case FlightEvent::kMigrate:
+      return "migrate";
+    case FlightEvent::kReroute:
+      return "reroute";
   }
   return "unknown";
 }

@@ -51,6 +51,10 @@ enum class FlightEvent : std::uint8_t {
   kSubmit = 5,     ///< serve submit verdict: id=session, v=verdict code
   kDispatch = 6,   ///< serve strand dispatch: id=session, v=queue depth
   kNote = 7,       ///< free-form marker (tests, drain, operator dump)
+  kMigrate = 8,    ///< cluster session migration: id=session,
+                   ///< v=target shard, a=source shard
+  kReroute = 9,    ///< submit routed to a migrated session's new shard:
+                   ///< id=session, v=current shard, a=placement shard
 };
 
 /// Stable lower-case token for an event kind ("decision", "admit", ...).

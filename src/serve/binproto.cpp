@@ -1,0 +1,664 @@
+#include "serve/binproto.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/expose.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/transport.hpp"
+#include "serve/wire.hpp"
+#include "speedup/curve.hpp"
+#include "util/fsio.hpp"
+
+namespace parsched::serve {
+
+namespace {
+
+// ---- shared field codecs (same layout as the PSNP snapshot curves) --------
+
+void put_curve(WireWriter& w, const SpeedupCurve& c) {
+  w.u8(static_cast<std::uint8_t>(c.kind()));
+  w.f64(c.alpha());
+  if (c.kind() == SpeedupCurve::Kind::kPiecewiseLinear) {
+    const auto& knots = c.knots();
+    w.size(knots.size());
+    for (const auto& [x, y] : knots) {
+      w.f64(x);
+      w.f64(y);
+    }
+  }
+}
+
+SpeedupCurve get_curve(WireReader& r) {
+  const auto kind = static_cast<SpeedupCurve::Kind>(r.u8());
+  const double alpha = r.f64();
+  switch (kind) {
+    case SpeedupCurve::Kind::kFullyParallel:
+      return SpeedupCurve::fully_parallel();
+    case SpeedupCurve::Kind::kSequential:
+      return SpeedupCurve::sequential();
+    case SpeedupCurve::Kind::kPowerLaw:
+      return SpeedupCurve::power_law(alpha);
+    case SpeedupCurve::Kind::kPiecewiseLinear: {
+      const std::size_t n = r.size();
+      std::vector<std::pair<double, double>> knots;
+      knots.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = r.f64();
+        const double y = r.f64();
+        knots.emplace_back(x, y);
+      }
+      return SpeedupCurve::piecewise_linear(std::move(knots));
+    }
+  }
+  r.fail("unknown speedup-curve kind");
+}
+
+void put_job(WireWriter& w, const Job& j) {
+  w.u32(j.id);
+  w.f64(j.release);
+  w.f64(j.size);
+  w.f64(j.weight);
+  put_curve(w, j.curve);
+  w.size(j.phases.size());
+  for (const JobPhase& p : j.phases) {
+    w.f64(p.work);
+    put_curve(w, p.curve);
+  }
+}
+
+Job get_job(WireReader& r) {
+  Job j;
+  j.id = r.u32();
+  j.release = r.f64();
+  j.size = r.f64();
+  j.weight = r.f64();
+  j.curve = get_curve(r);
+  const std::size_t n = r.size();
+  j.phases.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    JobPhase p;
+    p.work = r.f64();
+    p.curve = get_curve(r);
+    j.phases.push_back(std::move(p));
+  }
+  return j;
+}
+
+// ---- response builders ----------------------------------------------------
+
+WireWriter response_head(BinStatus status, std::uint64_t rid, BinOp op) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(rid);
+  w.u8(static_cast<std::uint8_t>(op));
+  return w;
+}
+
+std::string error_payload(std::uint64_t rid, BinOp op,
+                          const std::string& message) {
+  WireWriter w = response_head(BinStatus::kError, rid, op);
+  w.str(message);
+  return w.take();
+}
+
+std::string reject_payload(std::uint64_t rid, BinOp op, Submit verdict) {
+  WireWriter w = response_head(BinStatus::kReject, rid, op);
+  w.u8(static_cast<std::uint8_t>(verdict));
+  return w.take();
+}
+
+std::string ok_payload(std::uint64_t rid, BinOp op) {
+  return response_head(BinStatus::kOk, rid, op).take();
+}
+
+std::string session_payload(std::uint64_t rid, BinOp op, SessionId sid,
+                            int shard) {
+  WireWriter w = response_head(BinStatus::kOk, rid, op);
+  w.u64(sid);
+  w.u32(static_cast<std::uint32_t>(shard));
+  return w.take();
+}
+
+void put_result_block(WireWriter& w, const SimResult& r) {
+  w.u64(static_cast<std::uint64_t>(r.records.size()));
+  w.f64(r.total_flow);
+  w.f64(r.weighted_flow);
+  w.f64(r.fractional_flow);
+  w.f64(r.makespan);
+  w.u64(r.decisions);
+  w.u64(r.events);
+}
+
+std::string query_payload(std::uint64_t rid, const Session& s) {
+  WireWriter w = response_head(BinStatus::kOk, rid, BinOp::kQuery);
+  w.str(s.policy_name());
+  w.f64(s.time());
+  w.f64(s.frontier());
+  w.u64(static_cast<std::uint64_t>(s.alive_count()));
+  w.u64(static_cast<std::uint64_t>(s.pending_count()));
+  w.u8(s.finished() ? 1 : 0);
+  put_result_block(w, s.partial());
+  return w.take();
+}
+
+std::string finish_payload(std::uint64_t rid, const SimResult& r) {
+  WireWriter w = response_head(BinStatus::kOk, rid, BinOp::kFinish);
+  put_result_block(w, r);
+  w.size(r.records.size());
+  for (const JobRecord& rec : r.records) {
+    w.u32(rec.job.id);
+    w.f64(rec.job.release);
+    w.f64(rec.completion);
+  }
+  return w.take();
+}
+
+std::string text_payload(std::uint64_t rid, BinOp op,
+                         const std::string& text) {
+  WireWriter w = response_head(BinStatus::kOk, rid, op);
+  w.str(text);
+  return w.take();
+}
+
+/// Read exactly `n` bytes (blocking), riding out EINTR; throws on EOF.
+void recv_exact(int fd, char* out, std::size_t n, const char* what) {
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, out, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      throw std::runtime_error(std::string("server connection lost (") +
+                               what + ")");
+    }
+    out += got;
+    n -= static_cast<std::size_t>(got);
+  }
+}
+
+}  // namespace
+
+// ---- framing --------------------------------------------------------------
+
+std::string frame(std::string_view payload) {
+  WireWriter w;
+  w.str(payload);  // u32 length prefix + bytes — exactly the frame shape
+  return w.take();
+}
+
+std::string encode_hello(std::uint32_t version) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(kBinMagic[0]));
+  w.u8(static_cast<std::uint8_t>(kBinMagic[1]));
+  w.u8(static_cast<std::uint8_t>(kBinMagic[2]));
+  w.u8(static_cast<std::uint8_t>(kBinMagic[3]));
+  w.u32(version);
+  return w.take();
+}
+
+std::uint32_t decode_hello(std::string_view hello) {
+  WireReader r(hello, "hello");
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kBinMagic, sizeof(kBinMagic)) != 0) {
+    r.fail("bad magic (not a PBIN hello)");
+  }
+  return r.u32();
+}
+
+bool FrameBuffer::next(std::string& payload) {
+  if (buf_.size() < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(buf_[static_cast<std::size_t>(i)]))
+           << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    throw std::invalid_argument("frame payload of " + std::to_string(len) +
+                                " bytes exceeds the " +
+                                std::to_string(kMaxFramePayload) +
+                                "-byte cap");
+  }
+  if (buf_.size() < 4 + static_cast<std::size_t>(len)) return false;
+  payload.assign(buf_, 4, len);
+  buf_.erase(0, 4 + static_cast<std::size_t>(len));
+  return true;
+}
+
+// ---- request encoders -----------------------------------------------------
+
+namespace {
+WireWriter request_head(BinOp op, std::uint64_t rid) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(rid);
+  return w;
+}
+}  // namespace
+
+std::string bin_ping(std::uint64_t rid) {
+  return request_head(BinOp::kPing, rid).take();
+}
+
+std::string bin_open(std::uint64_t rid, const std::string& policy,
+                     int machines, double speed, std::uint64_t key) {
+  WireWriter w = request_head(BinOp::kOpen, rid);
+  w.str(policy);
+  w.u32(static_cast<std::uint32_t>(machines));
+  w.f64(speed);
+  w.u64(key);
+  return w.take();
+}
+
+std::string bin_admit(std::uint64_t rid, std::uint64_t session,
+                      const Job& job) {
+  WireWriter w = request_head(BinOp::kAdmit, rid);
+  w.u64(session);
+  put_job(w, job);
+  return w.take();
+}
+
+std::string bin_advance(std::uint64_t rid, std::uint64_t session,
+                        double to) {
+  WireWriter w = request_head(BinOp::kAdvance, rid);
+  w.u64(session);
+  w.f64(to);
+  return w.take();
+}
+
+std::string bin_query(std::uint64_t rid, std::uint64_t session) {
+  WireWriter w = request_head(BinOp::kQuery, rid);
+  w.u64(session);
+  return w.take();
+}
+
+std::string bin_snapshot(std::uint64_t rid, std::uint64_t session,
+                         const std::string& path) {
+  WireWriter w = request_head(BinOp::kSnapshot, rid);
+  w.u64(session);
+  w.str(path);
+  return w.take();
+}
+
+std::string bin_restore(std::uint64_t rid, const std::string& path) {
+  WireWriter w = request_head(BinOp::kRestore, rid);
+  w.str(path);
+  return w.take();
+}
+
+std::string bin_finish(std::uint64_t rid, std::uint64_t session) {
+  WireWriter w = request_head(BinOp::kFinish, rid);
+  w.u64(session);
+  return w.take();
+}
+
+std::string bin_close(std::uint64_t rid, std::uint64_t session) {
+  WireWriter w = request_head(BinOp::kClose, rid);
+  w.u64(session);
+  return w.take();
+}
+
+std::string bin_stats(std::uint64_t rid) {
+  return request_head(BinOp::kStats, rid).take();
+}
+
+std::string bin_dump(std::uint64_t rid, const std::string& path) {
+  WireWriter w = request_head(BinOp::kDump, rid);
+  w.str(path);
+  return w.take();
+}
+
+std::string bin_shutdown(std::uint64_t rid) {
+  return request_head(BinOp::kShutdown, rid).take();
+}
+
+std::string bin_migrate(std::uint64_t rid, std::uint64_t session,
+                        int shard) {
+  WireWriter w = request_head(BinOp::kMigrate, rid);
+  w.u64(session);
+  w.u32(static_cast<std::uint32_t>(shard));
+  return w.take();
+}
+
+std::string bin_evacuate(std::uint64_t rid, int shard) {
+  WireWriter w = request_head(BinOp::kEvacuate, rid);
+  w.u32(static_cast<std::uint32_t>(shard));
+  return w.take();
+}
+
+std::string bin_cluster(std::uint64_t rid) {
+  return request_head(BinOp::kCluster, rid).take();
+}
+
+// ---- response decoder -----------------------------------------------------
+
+BinResponse parse_bin_response(std::string_view payload) {
+  WireReader r(payload, "frame");
+  BinResponse out;
+  out.status = static_cast<BinStatus>(r.u8());
+  out.rid = r.u64();
+  out.op = static_cast<BinOp>(r.u8());
+  if (out.status == BinStatus::kError) {
+    out.error = r.str();
+    return out;
+  }
+  if (out.status == BinStatus::kReject) {
+    out.verdict = r.u8();
+    return out;
+  }
+  switch (out.op) {
+    case BinOp::kPing:
+    case BinOp::kAdmit:
+    case BinOp::kAdvance:
+    case BinOp::kSnapshot:
+    case BinOp::kClose:
+    case BinOp::kShutdown:
+    case BinOp::kMigrate:
+      break;
+    case BinOp::kOpen:
+    case BinOp::kRestore:
+      out.session = r.u64();
+      out.shard = static_cast<int>(r.u32());
+      break;
+    case BinOp::kQuery: {
+      out.policy = r.str();
+      out.time = r.f64();
+      out.frontier = r.f64();
+      out.alive = r.u64();
+      out.pending = r.u64();
+      out.finished = r.u8() != 0;
+      out.jobs = r.u64();
+      out.total_flow = r.f64();
+      out.weighted_flow = r.f64();
+      out.fractional_flow = r.f64();
+      out.makespan = r.f64();
+      out.decisions = r.u64();
+      out.events = r.u64();
+      break;
+    }
+    case BinOp::kFinish: {
+      out.jobs = r.u64();
+      out.total_flow = r.f64();
+      out.weighted_flow = r.f64();
+      out.fractional_flow = r.f64();
+      out.makespan = r.f64();
+      out.decisions = r.u64();
+      out.events = r.u64();
+      const std::size_t n = r.size();
+      out.records.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        BinResponse::Record rec;
+        rec.job = r.u32();
+        rec.release = r.f64();
+        rec.completion = r.f64();
+        out.records.push_back(rec);
+      }
+      break;
+    }
+    case BinOp::kStats:
+    case BinOp::kDump:
+      out.text = r.str();
+      break;
+    case BinOp::kEvacuate:
+      out.migrated = static_cast<int>(r.u32());
+      break;
+    case BinOp::kCluster: {
+      out.shards = static_cast<int>(r.u32());
+      out.sessions = r.u64();
+      for (int i = 0; i < out.shards; ++i) {
+        out.shard_sessions.push_back(r.u32());
+        out.in_ring.push_back(r.u8() != 0);
+      }
+      break;
+    }
+  }
+  if (!r.done()) r.fail("trailing bytes after response payload");
+  return out;
+}
+
+// ---- server-side frame handler --------------------------------------------
+
+bool ProtocolHandler::handle_frame(std::string_view payload, WriteFn write) {
+  std::uint64_t rid = 0;
+  BinOp op = BinOp::kPing;
+  try {
+    WireReader r(payload, "frame");
+    const std::uint8_t opb = r.u8();
+    rid = r.u64();
+    if (opb > static_cast<std::uint8_t>(BinOp::kCluster)) {
+      write(error_payload(rid, BinOp::kPing,
+                          "unknown op: " + std::to_string(opb)));
+      return true;
+    }
+    op = static_cast<BinOp>(opb);
+
+    switch (op) {
+      case BinOp::kPing:
+        write(ok_payload(rid, op));
+        return true;
+      case BinOp::kStats: {
+        if (cluster_.config().metrics == nullptr) {
+          write(error_payload(rid, op,
+                              "stats: server has no metrics registry"));
+          return true;
+        }
+        write(text_payload(
+            rid, op, obs::exposition_text(cluster_.merged_snapshot())));
+        return true;
+      }
+      case BinOp::kDump: {
+        const obs::FlightRecorder* rec = cluster_.config().recorder;
+        if (rec == nullptr) {
+          write(error_payload(rid, op,
+                              "dump: server has no flight recorder"));
+          return true;
+        }
+        std::ostringstream dump;
+        rec->dump_jsonl(dump, "dump_verb");
+        const std::string path = r.str();
+        if (!path.empty()) {
+          auto out = open_output(path, "flight-recorder dump");
+          out << dump.str();
+          finish_output(out, path);
+          write(ok_payload(rid, op));
+        } else {
+          write(text_payload(rid, op, dump.str()));
+        }
+        return true;
+      }
+      case BinOp::kShutdown:
+        cluster_.drain();
+        write(ok_payload(rid, op));
+        return false;
+      case BinOp::kOpen: {
+        Session::Config scfg;
+        scfg.policy = r.str();
+        scfg.machines = static_cast<int>(r.u32());
+        scfg.speed = r.f64();
+        const std::uint64_t key = r.u64();
+        SessionId sid = 0;
+        int shard = -1;
+        const Submit verdict = cluster_.open(scfg, sid, key, &shard);
+        if (verdict != Submit::kAccepted) {
+          write(reject_payload(rid, op, verdict));
+          return true;
+        }
+        write(session_payload(rid, op, sid, shard));
+        return true;
+      }
+      case BinOp::kRestore: {
+        const std::string path = r.str();
+        if (path.empty()) {
+          write(error_payload(rid, op, "restore requires path"));
+          return true;
+        }
+        auto session = Session::restore(read_snapshot_file(path), nullptr);
+        SessionId sid = 0;
+        int shard = -1;
+        const Submit verdict =
+            cluster_.adopt(std::move(session), sid, 0, &shard);
+        if (verdict != Submit::kAccepted) {
+          write(reject_payload(rid, op, verdict));
+          return true;
+        }
+        write(session_payload(rid, op, sid, shard));
+        return true;
+      }
+      case BinOp::kEvacuate: {
+        const int shard = static_cast<int>(r.u32());
+        const int migrated = cluster_.evacuate(shard);
+        WireWriter w = response_head(BinStatus::kOk, rid, op);
+        w.u32(static_cast<std::uint32_t>(migrated));
+        write(w.take());
+        return true;
+      }
+      case BinOp::kCluster: {
+        WireWriter w = response_head(BinStatus::kOk, rid, op);
+        const int n = cluster_.shards();
+        w.u32(static_cast<std::uint32_t>(n));
+        w.u64(static_cast<std::uint64_t>(cluster_.session_count()));
+        for (int i = 0; i < n; ++i) {
+          w.u32(static_cast<std::uint32_t>(cluster_.session_count(i)));
+          w.u8(cluster_.shard_in_ring(i) ? 1 : 0);
+        }
+        write(w.take());
+        return true;
+      }
+      default:
+        break;  // session-addressed ops below
+    }
+
+    const SessionId sid = r.u64();
+    if (op == BinOp::kClose) {
+      const Submit verdict = cluster_.close(sid);
+      if (verdict != Submit::kAccepted) {
+        write(reject_payload(rid, op, verdict));
+        return true;
+      }
+      write(ok_payload(rid, op));
+      return true;
+    }
+    if (op == BinOp::kMigrate) {
+      const int shard = static_cast<int>(r.u32());
+      const Submit verdict = cluster_.migrate(sid, shard);
+      if (verdict != Submit::kAccepted) {
+        write(reject_payload(rid, op, verdict));
+        return true;
+      }
+      write(ok_payload(rid, op));
+      return true;
+    }
+
+    std::function<void(Session&)> task;
+    if (op == BinOp::kAdmit) {
+      Job job = get_job(r);
+      task = [rid, write, job = std::move(job)](Session& s) {
+        s.admit(job);
+        write(ok_payload(rid, BinOp::kAdmit));
+      };
+    } else if (op == BinOp::kAdvance) {
+      const double to = r.f64();
+      task = [rid, write, to](Session& s) {
+        s.advance(to);
+        write(ok_payload(rid, BinOp::kAdvance));
+      };
+    } else if (op == BinOp::kQuery) {
+      task = [rid, write](Session& s) { write(query_payload(rid, s)); };
+    } else if (op == BinOp::kSnapshot) {
+      const std::string path = r.str();
+      if (path.empty()) {
+        write(error_payload(rid, op, "snapshot requires path"));
+        return true;
+      }
+      task = [rid, write, path](Session& s) {
+        const std::string blob = s.snapshot();
+        auto out = open_output(path, "session snapshot");
+        out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+        finish_output(out, path);
+        write(ok_payload(rid, BinOp::kSnapshot));
+      };
+    } else {  // kFinish
+      task = [rid, write](Session& s) {
+        s.finish();
+        write(finish_payload(rid, s.result()));
+      };
+    }
+
+    const Submit verdict = cluster_.submit(
+        sid, [rid, op, write, task = std::move(task)](Session& s) {
+          try {
+            task(s);
+          } catch (const std::exception& e) {
+            write(error_payload(rid, op, e.what()));
+          }
+        });
+    if (verdict != Submit::kAccepted) {
+      write(reject_payload(rid, op, verdict));
+    }
+  } catch (const std::exception& e) {
+    write(error_payload(rid, op, e.what()));
+  }
+  return true;
+}
+
+// ---- blocking client ------------------------------------------------------
+
+BinClient::BinClient(const std::string& path, double timeout_seconds,
+                     std::uint32_t version) {
+  fd_ = connect_unix_client(path, timeout_seconds);
+  const std::string hello = encode_hello(version);
+  if (!send_all(fd_, hello.data(), hello.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("server connection lost (hello)");
+  }
+  char reply[kBinHelloSize];
+  try {
+    recv_exact(fd_, reply, sizeof(reply), "hello");
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  negotiated_ = decode_hello(std::string_view(reply, sizeof(reply)));
+  if (negotiated_ == 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("server rejected PBIN version " +
+                             std::to_string(version));
+  }
+}
+
+BinClient::~BinClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string BinClient::request(const std::string& payload) {
+  const std::string framed = frame(payload);
+  if (!send_all(fd_, framed.data(), framed.size())) {
+    throw std::runtime_error("server connection lost (send)");
+  }
+  std::string out;
+  while (!frames_.next(out)) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error("server connection lost (recv)");
+    }
+    frames_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+  return out;
+}
+
+}  // namespace parsched::serve

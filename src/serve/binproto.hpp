@@ -1,0 +1,220 @@
+// parsched — PBIN, the compact binary serve protocol.
+//
+// PBIN is the NDJSON protocol's binary twin: the same verbs, the same
+// verdicts, the same strand semantics — but length-prefixed frames
+// instead of lines, and doubles as raw IEEE-754 bits (the serve/wire
+// codec shared with the PSNP snapshots) instead of decimal text. That
+// makes it the protocol of choice for bit-identity checks: a total_flow
+// crossing PBIN is the exact engine double, not a shortest-round-trip
+// rendering.
+//
+// Connection life cycle on a Unix-socket transport:
+//
+//   client                              server
+//   ------ "PBIN" + u32 version ----->         (8-byte hello)
+//   <----- "PBIN" + u32 negotiated ---         (0 = rejected, closes)
+//   ------ frame(request) ----------->
+//   <----- frame(response) ----------         (any order across
+//   ...                                        sessions, FIFO within)
+//
+// The transport decides NDJSON vs PBIN per connection by the first
+// byte: '{' (or whitespace) opens an NDJSON line stream, 'P' opens the
+// PBIN hello. Version negotiation: the server answers
+// min(client_version, kBinProtoVersion), or 0 when it cannot speak
+// anything the client proposed (then closes the connection).
+//
+// Framing: u32 LE payload length, then the payload. A frame may arrive
+// torn at any byte offset; FrameBuffer reassembles. Payload layout
+// (WireWriter encoding, all little-endian):
+//
+//   request:   u8 op, u64 request_id, op-specific fields
+//   response:  u8 status (0 ok / 1 error / 2 reject), u64 request_id,
+//              u8 op, then:
+//                ok      op-specific fields (see docs/API.md §serve/)
+//                error   str message
+//                reject  u8 Submit verdict code (retryable backpressure)
+//
+// The op-specific field tables live in docs/API.md; encoders/decoders
+// below are the single source of truth in code. Unknown ops and corrupt
+// payloads answer status=error; a frame longer than kMaxFramePayload
+// kills the connection (it cannot be resynchronized).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/job.hpp"
+
+namespace parsched::serve {
+
+inline constexpr char kBinMagic[4] = {'P', 'B', 'I', 'N'};
+inline constexpr std::uint32_t kBinProtoVersion = 1;
+inline constexpr std::size_t kBinHelloSize = 8;
+/// Upper bound on one frame payload; a length beyond this is corruption
+/// (the stream cannot be resynchronized past it).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Request opcodes. Values are wire format — append only.
+enum class BinOp : std::uint8_t {
+  kPing = 0,
+  kOpen = 1,
+  kAdmit = 2,
+  kAdvance = 3,
+  kQuery = 4,
+  kSnapshot = 5,
+  kRestore = 6,
+  kFinish = 7,
+  kClose = 8,
+  kStats = 9,
+  kDump = 10,
+  kShutdown = 11,
+  kMigrate = 12,
+  kEvacuate = 13,
+  kCluster = 14,
+};
+
+/// Response status byte.
+enum class BinStatus : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+  kReject = 2,
+};
+
+// ---- framing --------------------------------------------------------------
+
+/// Length-prefix one payload: u32 LE size + bytes.
+[[nodiscard]] std::string frame(std::string_view payload);
+
+/// The 8-byte hello ("PBIN" + u32 LE version).
+[[nodiscard]] std::string encode_hello(std::uint32_t version);
+
+/// Parse an 8-byte hello; throws std::invalid_argument on bad magic.
+[[nodiscard]] std::uint32_t decode_hello(std::string_view hello);
+
+/// Incremental frame reassembly: feed() arbitrary byte chunks, next()
+/// yields complete payloads in order. Tolerates a frame header or body
+/// split at any byte offset. Throws std::invalid_argument when a frame
+/// length exceeds kMaxFramePayload.
+class FrameBuffer {
+ public:
+  void feed(std::string_view data) { buf_.append(data.data(), data.size()); }
+
+  /// Extract the next complete payload into `payload`; false when more
+  /// bytes are needed.
+  bool next(std::string& payload);
+
+ private:
+  std::string buf_;
+};
+
+// ---- request encoders (client side) ---------------------------------------
+
+[[nodiscard]] std::string bin_ping(std::uint64_t rid);
+[[nodiscard]] std::string bin_open(std::uint64_t rid,
+                                   const std::string& policy, int machines,
+                                   double speed, std::uint64_t key = 0);
+[[nodiscard]] std::string bin_admit(std::uint64_t rid, std::uint64_t session,
+                                    const Job& job);
+[[nodiscard]] std::string bin_advance(std::uint64_t rid,
+                                      std::uint64_t session, double to);
+[[nodiscard]] std::string bin_query(std::uint64_t rid,
+                                    std::uint64_t session);
+[[nodiscard]] std::string bin_snapshot(std::uint64_t rid,
+                                       std::uint64_t session,
+                                       const std::string& path);
+[[nodiscard]] std::string bin_restore(std::uint64_t rid,
+                                      const std::string& path);
+[[nodiscard]] std::string bin_finish(std::uint64_t rid,
+                                     std::uint64_t session);
+[[nodiscard]] std::string bin_close(std::uint64_t rid,
+                                    std::uint64_t session);
+[[nodiscard]] std::string bin_stats(std::uint64_t rid);
+[[nodiscard]] std::string bin_dump(std::uint64_t rid,
+                                   const std::string& path = "");
+[[nodiscard]] std::string bin_shutdown(std::uint64_t rid);
+[[nodiscard]] std::string bin_migrate(std::uint64_t rid,
+                                      std::uint64_t session, int shard);
+[[nodiscard]] std::string bin_evacuate(std::uint64_t rid, int shard);
+[[nodiscard]] std::string bin_cluster(std::uint64_t rid);
+
+// ---- response decoder (client side) ---------------------------------------
+
+/// One parsed response payload. Which fields are meaningful depends on
+/// (status, op); unset fields keep their zero values.
+struct BinResponse {
+  BinStatus status = BinStatus::kError;
+  std::uint64_t rid = 0;
+  BinOp op = BinOp::kPing;
+  std::string error;        ///< status == kError
+  std::uint8_t verdict = 0; ///< status == kReject: Submit code
+
+  std::uint64_t session = 0;  ///< open/restore
+  int shard = -1;             ///< open/restore
+
+  // query/finish result block
+  std::string policy;
+  double time = 0.0;
+  double frontier = 0.0;
+  std::uint64_t alive = 0;
+  std::uint64_t pending = 0;
+  bool finished = false;
+  std::uint64_t jobs = 0;
+  double total_flow = 0.0;
+  double weighted_flow = 0.0;
+  double fractional_flow = 0.0;
+  double makespan = 0.0;
+  std::uint64_t decisions = 0;
+  std::uint64_t events = 0;
+
+  struct Record {
+    std::uint32_t job = 0;
+    double release = 0.0;
+    double completion = 0.0;
+  };
+  std::vector<Record> records;  ///< finish
+
+  std::string text;       ///< stats exposition / dump JSONL
+  int migrated = 0;       ///< evacuate
+  int shards = 0;         ///< cluster
+  std::uint64_t sessions = 0;          ///< cluster (total)
+  std::vector<std::uint32_t> shard_sessions;  ///< cluster, per shard
+  std::vector<bool> in_ring;                  ///< cluster, per shard
+};
+
+/// Parse a response payload; throws std::invalid_argument on corruption.
+[[nodiscard]] BinResponse parse_bin_response(std::string_view payload);
+
+// ---- blocking client ------------------------------------------------------
+
+/// Blocking PBIN client over a Unix-domain socket — the binary twin of
+/// transport.hpp's Client. Performs the hello handshake at
+/// construction; throws std::runtime_error when the server rejects the
+/// proposed version. Not thread-safe: one client per thread.
+class BinClient {
+ public:
+  explicit BinClient(const std::string& path, double timeout_seconds = 10.0,
+                     std::uint32_t version = kBinProtoVersion);
+  ~BinClient();
+  BinClient(const BinClient&) = delete;
+  BinClient& operator=(const BinClient&) = delete;
+
+  /// Send one request payload, block for the next response payload.
+  /// Strict request/response, like the NDJSON client.
+  [[nodiscard]] std::string request(const std::string& payload);
+
+  /// Convenience: request + parse.
+  [[nodiscard]] BinResponse call(const std::string& payload) {
+    return parse_bin_response(request(payload));
+  }
+
+  [[nodiscard]] std::uint32_t negotiated() const { return negotiated_; }
+
+ private:
+  int fd_ = -1;
+  std::uint32_t negotiated_ = 0;
+  FrameBuffer frames_;
+};
+
+}  // namespace parsched::serve

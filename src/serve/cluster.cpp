@@ -1,0 +1,553 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <ctime>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "check/contract.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace parsched::serve {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixing family exec::task_seed and the
+/// loadgen streams use. Pure, so clients can reproduce ring placement.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void sleep_ms(long ms) {
+  timespec ts{};
+  ts.tv_nsec = ms * 1'000'000L;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+int ring_lookup(const std::vector<std::pair<std::uint64_t, int>>& ring,
+                std::uint64_t key) {
+  PARSCHED_CHECK(!ring.empty(), "consistent-hash ring is empty");
+  const std::uint64_t h = mix64(key);
+  auto it = std::lower_bound(
+      ring.begin(), ring.end(), std::make_pair(h, 0),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring.end()) it = ring.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::pair<std::uint64_t, int>> build_ring(
+    int shards, const std::vector<int>& removed) {
+  std::vector<std::pair<std::uint64_t, int>> ring;
+  ring.reserve(static_cast<std::size_t>(shards) * kVirtualNodes);
+  for (int s = 0; s < shards; ++s) {
+    if (std::find(removed.begin(), removed.end(), s) != removed.end()) {
+      continue;
+    }
+    // Two mixing rounds decorrelate the virtual points of adjacent
+    // shards; a single round would leave them on a lattice.
+    const std::uint64_t base = mix64(static_cast<std::uint64_t>(s) + 1);
+    for (int v = 0; v < kVirtualNodes; ++v) {
+      ring.emplace_back(mix64(base + static_cast<std::uint64_t>(v)), s);
+    }
+  }
+  std::sort(ring.begin(), ring.end());
+  return ring;
+}
+
+int consistent_shard(std::uint64_t key, int shards) {
+  return ring_lookup(build_ring(shards), key);
+}
+
+Cluster::Cluster(Config cfg) : cfg_(cfg) {
+  if (cfg_.shards < 1) cfg_.shards = 1;
+  shards_.resize(static_cast<std::size_t>(cfg_.shards));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (cfg_.metrics != nullptr) {
+      shards_[i].metrics = std::make_unique<obs::MetricsRegistry>();
+    }
+    Server::Config sc;
+    sc.threads = cfg_.threads_per_shard;
+    // The cluster enforces the session cap globally; the per-shard cap
+    // is set to the same bound so an adversarial all-one-shard skew is
+    // admitted up to the cluster-wide limit, never double-rejected.
+    sc.max_sessions = cfg_.max_sessions;
+    sc.max_queue = cfg_.max_queue;
+    sc.metrics = shards_[i].metrics.get();
+    sc.recorder = cfg_.recorder;
+    shards_[i].server = std::make_unique<Server>(sc);
+  }
+  ring_ = build_ring(cfg_.shards);
+  if (cfg_.metrics != nullptr) {
+    opened_ = &cfg_.metrics->counter("serve.cluster.sessions.opened");
+    closed_ = &cfg_.metrics->counter("serve.cluster.sessions.closed");
+    sessions_gauge_ = &cfg_.metrics->gauge("serve.cluster.sessions.active");
+    migrations_ = &cfg_.metrics->counter("serve.cluster.migrations");
+    migration_failures_ =
+        &cfg_.metrics->counter("serve.cluster.migration_failures");
+    reroutes_ = &cfg_.metrics->counter("serve.cluster.reroutes");
+    reject_session_cap_ =
+        &cfg_.metrics->counter("serve.cluster.reject.session_cap");
+    reject_migrating_ =
+        &cfg_.metrics->counter("serve.cluster.reject.migrating");
+    reject_unknown_ =
+        &cfg_.metrics->counter("serve.cluster.reject.unknown_session");
+    reject_draining_ =
+        &cfg_.metrics->counter("serve.cluster.reject.draining");
+  }
+}
+
+Cluster::~Cluster() { drain(); }
+
+Submit Cluster::open(const Session::Config& scfg, SessionId& id_out,
+                     std::uint64_t key, int* shard_out) {
+  int shard = 0;
+  SessionId cid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      if (reject_draining_ != nullptr) reject_draining_->inc();
+      return Submit::kDraining;
+    }
+    if (routes_.size() >= cfg_.max_sessions) {
+      if (reject_session_cap_ != nullptr) reject_session_cap_->inc();
+      return Submit::kSessionCap;
+    }
+    cid = next_id_++;
+    Route r;
+    r.key = key != 0 ? key : cid;
+    shard = ring_lookup(ring_, r.key);
+    r.shard = shard;
+    r.placement = shard;
+    r.migrating = true;  // parked until the shard server installed it
+    routes_.emplace(cid, r);
+  }
+
+  // Construct outside the lock: make_scheduler may throw (caller error)
+  // and session construction is not cheap enough to serialize.
+  Session::Config with_metrics = scfg;
+  if (with_metrics.metrics == nullptr) {
+    with_metrics.metrics = shards_[static_cast<std::size_t>(shard)]
+                               .metrics.get();
+  }
+  if (with_metrics.recorder == nullptr) {
+    with_metrics.recorder = cfg_.recorder;
+  }
+  std::unique_ptr<Session> session;
+  try {
+    session = std::make_unique<Session>(std::move(with_metrics));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    routes_.erase(cid);
+    throw;
+  }
+
+  SessionId inner = 0;
+  const Submit verdict =
+      shards_[static_cast<std::size_t>(shard)].server->adopt(
+          std::move(session), inner);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (verdict != Submit::kAccepted) {
+    routes_.erase(cid);
+    return verdict;
+  }
+  auto it = routes_.find(cid);
+  it->second.inner = inner;
+  it->second.migrating = false;
+  if (opened_ != nullptr) {
+    opened_->inc();
+    sessions_gauge_->set(static_cast<double>(routes_.size()));
+  }
+  id_out = cid;
+  if (shard_out != nullptr) *shard_out = shard;
+  return Submit::kAccepted;
+}
+
+Submit Cluster::adopt(std::unique_ptr<Session> session, SessionId& id_out,
+                      std::uint64_t key, int* shard_out) {
+  PARSCHED_CHECK(session != nullptr, "adopting a null session");
+  int shard = 0;
+  SessionId cid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      if (reject_draining_ != nullptr) reject_draining_->inc();
+      return Submit::kDraining;
+    }
+    if (routes_.size() >= cfg_.max_sessions) {
+      if (reject_session_cap_ != nullptr) reject_session_cap_->inc();
+      return Submit::kSessionCap;
+    }
+    cid = next_id_++;
+    Route r;
+    r.key = key != 0 ? key : cid;
+    shard = ring_lookup(ring_, r.key);
+    r.shard = shard;
+    r.placement = shard;
+    r.migrating = true;
+    routes_.emplace(cid, r);
+  }
+  SessionId inner = 0;
+  const Submit verdict =
+      shards_[static_cast<std::size_t>(shard)].server->adopt(
+          std::move(session), inner);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (verdict != Submit::kAccepted) {
+    routes_.erase(cid);
+    return verdict;
+  }
+  auto it = routes_.find(cid);
+  it->second.inner = inner;
+  it->second.migrating = false;
+  if (opened_ != nullptr) {
+    opened_->inc();
+    sessions_gauge_->set(static_cast<double>(routes_.size()));
+  }
+  id_out = cid;
+  if (shard_out != nullptr) *shard_out = shard;
+  return Submit::kAccepted;
+}
+
+Submit Cluster::submit(SessionId id, std::function<void(Session&)> op) {
+  // The lock is held across the shard submit so a concurrent migrate()
+  // cannot slip its drain op between our route lookup and our enqueue —
+  // that interleaving would run `op` on the source strand *after* the
+  // snapshot was taken and silently lose its effect on the migrated
+  // session.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    if (reject_draining_ != nullptr) reject_draining_->inc();
+    return Submit::kDraining;
+  }
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    if (reject_unknown_ != nullptr) reject_unknown_->inc();
+    return Submit::kUnknownSession;
+  }
+  Route& r = it->second;
+  if (r.migrating) {
+    if (reject_migrating_ != nullptr) reject_migrating_->inc();
+    return Submit::kDraining;
+  }
+  if (r.shard != r.placement) {
+    if (reroutes_ != nullptr) reroutes_->inc();
+    if (cfg_.recorder != nullptr) {
+      cfg_.recorder->record(obs::FlightEvent::kReroute, id,
+                            obs::monotonic_seconds(),
+                            static_cast<double>(r.shard),
+                            static_cast<std::uint32_t>(r.placement));
+    }
+  }
+  return shards_[static_cast<std::size_t>(r.shard)].server->submit(
+      r.inner, std::move(op));
+}
+
+Submit Cluster::close(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    if (reject_unknown_ != nullptr) reject_unknown_->inc();
+    return Submit::kUnknownSession;
+  }
+  Route& r = it->second;
+  if (r.migrating) {
+    // Closing mid-migration would race the adoption hop; the caller
+    // retries once the move settled.
+    if (reject_migrating_ != nullptr) reject_migrating_->inc();
+    return Submit::kDraining;
+  }
+  const Submit verdict =
+      shards_[static_cast<std::size_t>(r.shard)].server->close(r.inner);
+  if (verdict == Submit::kAccepted || verdict == Submit::kUnknownSession) {
+    routes_.erase(it);
+    if (closed_ != nullptr) {
+      closed_->inc();
+      sessions_gauge_->set(static_cast<double>(routes_.size()));
+    }
+  }
+  return verdict;
+}
+
+Submit Cluster::migrate(SessionId id, int target_shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target_shard < 0 ||
+      target_shard >= static_cast<int>(shards_.size())) {
+    throw std::invalid_argument("migrate: shard " +
+                                std::to_string(target_shard) +
+                                " out of range");
+  }
+  if (!shards_[static_cast<std::size_t>(target_shard)].in_ring) {
+    throw std::invalid_argument("migrate: shard " +
+                                std::to_string(target_shard) +
+                                " is out of the ring");
+  }
+  if (draining_) {
+    if (reject_draining_ != nullptr) reject_draining_->inc();
+    return Submit::kDraining;
+  }
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    if (reject_unknown_ != nullptr) reject_unknown_->inc();
+    return Submit::kUnknownSession;
+  }
+  Route& r = it->second;
+  if (r.migrating) {
+    if (reject_migrating_ != nullptr) reject_migrating_->inc();
+    return Submit::kDraining;
+  }
+  if (r.shard == target_shard) return Submit::kAccepted;  // no-op
+
+  const int source = r.shard;
+  r.migrating = true;
+  ++migrations_in_flight_;
+  // The drain op rides the session's strand: every previously accepted
+  // op completes before the snapshot, no later op can slip in (submits
+  // answer kDraining while `migrating`), so the blob captures a clean
+  // cut of the session — the bit-identity hinge.
+  const Submit verdict =
+      shards_[static_cast<std::size_t>(source)].server->submit(
+          r.inner, [this, id, source, target_shard](Session& s) {
+            std::string blob;
+            try {
+              blob = s.snapshot();
+            } catch (const std::exception&) {
+              abort_migration(id);  // finished sessions cannot move
+              return;
+            }
+            finish_migration(id, source, target_shard, blob);
+          });
+  if (verdict != Submit::kAccepted) {
+    r.migrating = false;
+    --migrations_in_flight_;
+    migration_cv_.notify_all();
+    if (migration_failures_ != nullptr) migration_failures_->inc();
+  }
+  return verdict;
+}
+
+void Cluster::finish_migration(SessionId id, int source, int target,
+                               const std::string& blob) {
+  std::unique_ptr<Session> session;
+  try {
+    session = Session::restore(
+        blob, shards_[static_cast<std::size_t>(target)].metrics.get());
+  } catch (const std::exception&) {
+    abort_migration(id);
+    return;
+  }
+  SessionId inner2 = 0;
+  const Submit verdict =
+      shards_[static_cast<std::size_t>(target)].server->adopt(
+          std::move(session), inner2);
+  if (verdict != Submit::kAccepted) {
+    abort_migration(id);
+    return;
+  }
+  SessionId old_inner = 0;
+  bool flipped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = routes_.find(id);
+    if (it != routes_.end()) {
+      old_inner = it->second.inner;
+      it->second.shard = target;
+      it->second.inner = inner2;
+      it->second.migrating = false;
+      flipped = true;
+    }
+    if (migrations_ != nullptr) migrations_->inc();
+    if (cfg_.recorder != nullptr) {
+      cfg_.recorder->record(obs::FlightEvent::kMigrate, id,
+                            obs::monotonic_seconds(),
+                            static_cast<double>(target),
+                            static_cast<std::uint32_t>(source));
+    }
+    --migrations_in_flight_;
+    migration_cv_.notify_all();
+  }
+  if (flipped) {
+    // The source copy is now a shadow; retire it. Its strand (we are on
+    // it) retires the entry once this op returns.
+    shards_[static_cast<std::size_t>(source)].server->close(old_inner);
+  } else {
+    // Route vanished (cannot happen while `migrating` parks close, but
+    // stay safe): the adopted copy is an orphan.
+    shards_[static_cast<std::size_t>(target)].server->close(inner2);
+  }
+}
+
+void Cluster::abort_migration(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = routes_.find(id);
+  if (it != routes_.end()) it->second.migrating = false;
+  if (migration_failures_ != nullptr) migration_failures_->inc();
+  --migrations_in_flight_;
+  migration_cv_.notify_all();
+}
+
+void Cluster::rebuild_ring_locked() {
+  std::vector<int> removed;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i].in_ring) removed.push_back(static_cast<int>(i));
+  }
+  ring_ = build_ring(static_cast<int>(shards_.size()), removed);
+}
+
+int Cluster::evacuate(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) {
+    throw std::invalid_argument("evacuate: shard " + std::to_string(shard) +
+                                " out of range");
+  }
+  const auto idx = static_cast<std::size_t>(shard);
+  std::vector<std::pair<SessionId, int>> moves;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return 0;
+    if (shards_[idx].in_ring) {
+      int in_ring = 0;
+      for (const Shard& s : shards_) in_ring += s.in_ring ? 1 : 0;
+      if (in_ring <= 1) {
+        throw std::invalid_argument(
+            "evacuate: cannot remove the last in-ring shard");
+      }
+      shards_[idx].in_ring = false;
+      rebuild_ring_locked();
+    }
+    for (const auto& [sid, r] : routes_) {
+      if (r.shard == shard && !r.migrating) {
+        // Consistent hashing: only this shard's keys remap, each to its
+        // new ring position.
+        moves.emplace_back(sid, ring_lookup(ring_, r.key));
+      }
+    }
+  }
+  for (const auto& [sid, target] : moves) {
+    try {
+      (void)migrate(sid, target);
+    } catch (const std::exception&) {
+      // Shrinking ring raced us; the session stays put.
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    migration_cv_.wait(lock,
+                       [this] { return migrations_in_flight_ == 0; });
+  }
+  // Wait for the source server to retire the migrated shadows, then
+  // drain it if it emptied (finished sessions that could not move stay
+  // servable, so the shard is left undrained in that case). Bounded:
+  // retirement is strand completion, not client-paced.
+  std::size_t remaining = 0;
+  for (int spin = 0; spin < 60'000; ++spin) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      remaining = 0;
+      for (const auto& [sid, r] : routes_) {
+        if (r.shard == shard) ++remaining;
+      }
+    }
+    if (shards_[idx].server->session_count() <= remaining) break;
+    sleep_ms(1);
+  }
+  if (remaining == 0 && !shards_[idx].drained) {
+    shards_[idx].server->drain();
+    shards_[idx].drained = true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t still_here = 0;
+  for (const auto& [sid, r] : routes_) {
+    if (r.shard == shard) ++still_here;
+  }
+  return static_cast<int>(moves.size() - still_here);
+}
+
+void Cluster::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  for (Shard& s : shards_) {
+    s.server->drain();
+    s.drained = true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_.clear();
+  if (sessions_gauge_ != nullptr) sessions_gauge_->set(0.0);
+}
+
+int Cluster::shards() const { return static_cast<int>(shards_.size()); }
+
+std::size_t Cluster::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routes_.size();
+}
+
+std::size_t Cluster::session_count(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [sid, r] : routes_) {
+    if (r.shard == shard) ++n;
+  }
+  return n;
+}
+
+int Cluster::shard_of(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = routes_.find(id);
+  return it == routes_.end() ? -1 : it->second.shard;
+}
+
+int Cluster::shard_for_key(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_lookup(ring_, key);
+}
+
+bool Cluster::shard_in_ring(int shard) const {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_[static_cast<std::size_t>(shard)].in_ring;
+}
+
+obs::MetricsSnapshot Cluster::merged_snapshot() const {
+  obs::MetricsSnapshot out;
+  if (cfg_.metrics != nullptr) out = cfg_.metrics->snapshot();
+  obs::MetricsRegistry aggregate;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].metrics == nullptr) continue;
+    obs::MetricsSnapshot snap = shards_[i].metrics->snapshot();
+    aggregate.merge(snap);
+    const std::string prefix = "serve.shard" + std::to_string(i) + ".";
+    for (obs::MetricSample& s : snap.samples) {
+      // "serve.requests" -> "serve.shard0.requests";
+      // "engine.completions" -> "serve.shard0.engine.completions".
+      const std::string_view plain =
+          s.name.rfind("serve.", 0) == 0
+              ? std::string_view(s.name).substr(6)
+              : std::string_view(s.name);
+      s.name = prefix + std::string(plain);
+      out.samples.push_back(std::move(s));
+    }
+  }
+  obs::MetricsSnapshot agg = aggregate.snapshot();
+  for (obs::MetricSample& s : agg.samples) {
+    out.samples.push_back(std::move(s));
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const obs::MetricSample& a, const obs::MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+Server& Cluster::shard_server(int shard) {
+  PARSCHED_CHECK(shard >= 0 && shard < static_cast<int>(shards_.size()),
+                 "shard index out of range");
+  return *shards_[static_cast<std::size_t>(shard)].server;
+}
+
+}  // namespace parsched::serve

@@ -1,0 +1,223 @@
+// parsched — the sharded serving plane.
+//
+// A Cluster shards sessions across N independent shard workers. Each
+// shard is a full serve::Server — its own exec::ThreadPool, its own
+// strand table, its own MetricsRegistry — so shards share no mutable
+// state except the cluster's routing table, and a wedged or saturated
+// shard cannot stall its siblings' pools.
+//
+// Routing is consistent-hash: every session carries a routing key
+// (client-supplied, or defaulted to the session id), hashed onto a ring
+// of kVirtualNodes splitmix-derived points per shard. Removing a shard
+// from the ring (evacuate) remaps only the keys that hashed to it; all
+// other sessions keep their placement. shard_for_key() is a pure
+// function of (key, ring membership) — clients that know the shard
+// count can predict placement, which is how loadgen's adversarial
+// all-one-shard burst aims its traffic.
+//
+// Backpressure stays explicit and per-shard: open/submit/close answer
+// with the same Submit verdicts as Server, and every verdict is
+// non-blocking. The cluster adds one cluster-wide session cap on top of
+// the per-shard queues (Submit::kSessionCap), and a kDraining verdict
+// while a session is mid-migration — callers retry exactly as they
+// would for a full queue.
+//
+// Live migration (the tentpole guarantee): migrate() drains a session's
+// strand on the source shard, snapshots it with the versioned PSNP
+// encoder, restores the blob on the target shard and atomically flips
+// the routing entry — all while the cluster keeps serving. Because the
+// snapshot runs *on the strand* (after every previously accepted op,
+// before any later one — later submits reject kDraining and retry), the
+// migrated session's continuation is bit-identical to an unmigrated
+// run: same doubles, same order. evacuate() applies this to a whole
+// shard: take it out of the ring, migrate every live session to its new
+// ring position, then drain the emptied Server — the "kill a shard
+// mid-soak" operation of the CI leg.
+//
+// Metrics: per-shard registries are merged into the exposition under
+// "serve.shard<i>.*" (e.g. serve.shard0.requests), aggregated totals
+// keep the plain Server names, and cluster-level counters live under
+// "serve.cluster.*" (opened/closed/migrations/reroutes/rejects).
+// Flight recording: migrations land in the ring as kMigrate events and
+// post-migration submits as kReroute, beside the per-shard kSubmit /
+// kDispatch stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace parsched::obs {
+class FlightRecorder;
+}  // namespace parsched::obs
+
+namespace parsched::serve {
+
+/// Virtual ring points per shard; enough that 4–16 shards spread keys
+/// within a few percent of uniform.
+inline constexpr int kVirtualNodes = 16;
+
+/// Pure consistent-hash placement over `ring` (pairs of hash point and
+/// shard index, sorted by point). Exposed for clients that predict
+/// placement; Cluster maintains its own ring via the same function.
+[[nodiscard]] int ring_lookup(
+    const std::vector<std::pair<std::uint64_t, int>>& ring,
+    std::uint64_t key);
+
+/// Build the ring for shards [0, shards) minus the ids in `removed`
+/// (kVirtualNodes points each, splitmix-hashed). Deterministic.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, int>> build_ring(
+    int shards, const std::vector<int>& removed = {});
+
+/// Placement a client can compute without talking to the cluster: the
+/// ring over all `shards` with none removed.
+[[nodiscard]] int consistent_shard(std::uint64_t key, int shards);
+
+class Cluster {
+ public:
+  struct Config {
+    int shards = 1;             ///< shard worker count; clamped to >= 1
+    int threads_per_shard = 1;  ///< each shard's pool size; <= 0 means
+                                ///< hardware_threads()
+    std::size_t max_sessions = 64;  ///< cluster-wide session cap
+    std::size_t max_queue = 128;    ///< per-session op queue bound
+    /// Borrowed registry for cluster-level counters and the merged
+    /// exposition; must outlive the cluster. Per-shard registries are
+    /// owned by the cluster itself.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Borrowed flight recorder shared by every shard server (one ring,
+    /// one black box). Must outlive the cluster.
+    obs::FlightRecorder* recorder = nullptr;
+  };
+
+  explicit Cluster(Config cfg);
+  ~Cluster();  // drain()
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Open a session, placed by consistent hash of `key` (0 means "no
+  /// key": the fresh session id is used, spreading keyless sessions
+  /// uniformly). On kAccepted `id_out` holds the cluster-wide session
+  /// id and `shard_out` (when non-null) the shard it landed on. Throws
+  /// std::invalid_argument for an unknown policy spec.
+  Submit open(const Session::Config& scfg, SessionId& id_out,
+              std::uint64_t key = 0, int* shard_out = nullptr);
+
+  /// Adopt an externally built session (snapshot restore path); same
+  /// placement rules as open().
+  Submit adopt(std::unique_ptr<Session> session, SessionId& id_out,
+               std::uint64_t key = 0, int* shard_out = nullptr);
+
+  /// Queue `op` on the session's strand, wherever the session currently
+  /// lives. A session mid-migration answers kDraining (retry; it will
+  /// land on the new shard).
+  Submit submit(SessionId id, std::function<void(Session&)> op);
+
+  /// Close a session: already-queued operations still run, the routing
+  /// entry is gone immediately (subsequent submits answer
+  /// kUnknownSession).
+  Submit close(SessionId id);
+
+  /// Live-migrate one session to `target_shard`. Returns the verdict
+  /// for *starting* the migration (kAccepted means the drain op is on
+  /// the source strand); completion is asynchronous. Migrating a
+  /// session onto its current shard is an accepted no-op. Throws
+  /// std::invalid_argument when `target_shard` is out of range or out
+  /// of the ring. A finished session cannot be snapshotted and aborts
+  /// its migration (the session stays where it was, still servable).
+  Submit migrate(SessionId id, int target_shard);
+
+  /// Take `shard` out of the ring, migrate every live session it holds
+  /// to the key's new ring position, wait for the moves to settle, and
+  /// — when the shard emptied — drain its Server. Returns the number of
+  /// sessions migrated. Sessions that cannot move (already finished)
+  /// stay servable on the out-of-ring shard, which is then left
+  /// undrained. Throws std::invalid_argument on the last in-ring shard
+  /// or an out-of-range id; evacuating an already-evacuated shard is a
+  /// zero-migration no-op.
+  int evacuate(int shard);
+
+  /// Reject new work and wait until every queued operation on every
+  /// shard has run. Idempotent; the cluster is unusable afterwards.
+  void drain();
+
+  [[nodiscard]] int shards() const;
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::size_t session_count(int shard) const;
+  /// Current shard of a live session; -1 when unknown.
+  [[nodiscard]] int shard_of(SessionId id) const;
+  /// Ring placement for `key` under the current membership.
+  [[nodiscard]] int shard_for_key(std::uint64_t key) const;
+  [[nodiscard]] bool shard_in_ring(int shard) const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Cluster-level counters + per-shard snapshots renamed to
+  /// "serve.shard<i>.*" + aggregated per-shard totals under the plain
+  /// names. This is what the protocol's stats verb exposes.
+  [[nodiscard]] obs::MetricsSnapshot merged_snapshot() const;
+
+  /// The shard's Server (tests and the evacuation path).
+  [[nodiscard]] Server& shard_server(int shard);
+
+ private:
+  struct Shard {
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<Server> server;
+    bool in_ring = true;
+    bool drained = false;
+  };
+
+  /// Routing-table entry: cluster session id -> (shard, inner Server
+  /// id). `migrating` parks submits (kDraining) while the snapshot/
+  /// restore hop is in flight; `placement` remembers the original shard
+  /// so post-migration traffic can be recorded as reroutes.
+  struct Route {
+    int shard = 0;
+    int placement = 0;
+    SessionId inner = 0;
+    std::uint64_t key = 0;
+    bool migrating = false;
+  };
+
+  Submit place(std::unique_ptr<Session> session, SessionId& id_out,
+               std::uint64_t key, int* shard_out);
+  void finish_migration(SessionId id, int source, int target,
+                        const std::string& blob);
+  void abort_migration(SessionId id);
+  void rebuild_ring_locked();
+  void migration_done();
+
+  Config cfg_;
+  std::vector<Shard> shards_;
+
+  obs::Counter* opened_ = nullptr;
+  obs::Counter* closed_ = nullptr;
+  obs::Gauge* sessions_gauge_ = nullptr;
+  obs::Counter* migrations_ = nullptr;
+  obs::Counter* migration_failures_ = nullptr;
+  obs::Counter* reroutes_ = nullptr;
+  obs::Counter* reject_session_cap_ = nullptr;
+  obs::Counter* reject_migrating_ = nullptr;
+  obs::Counter* reject_unknown_ = nullptr;
+  obs::Counter* reject_draining_ = nullptr;
+
+  mutable std::mutex mu_;  // routes_, ring_, next_id_, draining_, counts
+  std::unordered_map<SessionId, Route> routes_;
+  std::vector<std::pair<std::uint64_t, int>> ring_;
+  SessionId next_id_ = 1;
+  bool draining_ = false;
+  int migrations_in_flight_ = 0;
+  std::condition_variable migration_cv_;
+};
+
+}  // namespace parsched::serve

@@ -1,24 +1,33 @@
 // parsched — the serve load generator.
 //
 // run_loadgen() replays a deterministic synthetic arrival log against a
-// running `parsched serve --socket` instance: N concurrent client
-// sessions (one connection + one protocol session each, driven from the
-// exec::ThreadPool), each admitting a seeded stream of jobs and
-// advancing its replay clock along the arrivals, then finishing and
-// closing. Per-request round-trip latencies land in the metrics
-// registry as the serve.client.latency_ms histogram, together with
-// serve.client.{requests,rejects,errors} counters — the payload of the
-// BENCH_serve_loadgen.json report the CI soak leg validates.
+// running `parsched serve --socket` instance. The fleet is N protocol
+// sessions, all open concurrently, driven by W worker threads (one
+// connection each, sessions interleaved round-robin) — so 10^3–10^4
+// concurrent sessions need only a handful of sockets and threads.
+// Per-request round-trip latencies land in the metrics registry as the
+// serve.client.latency_ms histogram and, raw, in
+// LoadgenResult::latencies_ms (exact quantiles for the cluster bench),
+// together with serve.client.{requests,rejects,errors} counters.
 //
-// Backpressure discipline: a load rejection ("reject" in the response —
-// queue full, draining) is counted and retried with backoff; a protocol
-// error (ok=false without "reject") is counted as an error and fails
-// the session. The soak invariant is rejects >= 0 but errors == 0 —
-// the server under overload must shed load, never wedge or corrupt.
+// Traffic shapes (serve/shapes.hpp): `uniform` is the PR-4 fleet,
+// `zipf` skews per-session job counts by a Zipf(theta) popularity law,
+// `burst` keys every session onto one shard and releases jobs in
+// volleys, `diurnal` ramps the arrival rate to a peak and back. The
+// simulated workload — and therefore the total flow — depends only on
+// (seed, sessions, admissions, rate, shape parameters), never on the
+// worker count or the wire protocol, so a run is comparable across
+// --workers settings and across NDJSON vs PBIN (--binary).
+//
+// Backpressure discipline: a load rejection (queue full, draining —
+// including the transient kDraining window of a live migration) is
+// counted and retried with backoff; a protocol error is counted and
+// fails the session. The soak invariant is rejects >= 0 but
+// errors == 0 — the server under overload must shed load, never wedge
+// or corrupt.
 //
 // Job streams are derived with exec::task_seed(seed, session), so a
-// given (seed, sessions, admissions, rate) configuration produces the
-// same simulated workload — and the same total flow — every run.
+// given configuration produces the same workload every run.
 #pragma once
 
 #include <cstdint>
@@ -26,13 +35,14 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/shapes.hpp"
 
 namespace parsched::serve {
 
 struct LoadgenConfig {
   std::string socket_path;
   int sessions = 8;
-  int admissions = 200;  ///< jobs per session
+  int admissions = 200;  ///< jobs per session (fleet mean under zipf)
   double rate = 64.0;    ///< arrivals per simulated second
   int advance_every = 16;  ///< advance the replay clock every k admissions
   std::string policy = "equi";
@@ -46,6 +56,15 @@ struct LoadgenConfig {
   /// exposition writer against hot strands). 0 disables.
   int stats_every = 0;
   obs::MetricsRegistry* metrics = nullptr;  ///< borrowed; may be null
+
+  LoadShape shape = LoadShape::kUniform;
+  double zipf_theta = 1.0;   ///< zipf: popularity exponent (k * 0.5)
+  int burst_per = 32;        ///< burst: jobs per volley
+  double diurnal_peak = 4.0; ///< diurnal: peak/trough rate ratio (>= 1)
+  /// Worker threads (connections). 0 picks min(sessions, 8). Totals are
+  /// worker-count independent; only wall time and latency vary.
+  int workers = 0;
+  bool binary = false;  ///< drive PBIN frames instead of NDJSON lines
 };
 
 /// Outcome of one session's finished run (parsed from the protocol).
@@ -67,10 +86,16 @@ struct LoadgenResult {
   std::uint64_t errors = 0;   ///< protocol/session failures
   std::uint64_t stats_scrapes = 0;  ///< successful mid-run stats probes
   double wall_seconds = 0.0;
+  int shards = 1;  ///< server shard count (the "cluster" verb)
   std::vector<SessionOutcome> sessions;  ///< by session index
+  /// Every timed round-trip, unordered — exact client-side quantiles
+  /// for the serve_cluster bench tables.
+  std::vector<double> latencies_ms;
 
   [[nodiscard]] std::uint64_t jobs_completed() const;
   [[nodiscard]] double total_flow() const;
+  /// Exact q-quantile (nearest-rank) of latencies_ms; 0 when empty.
+  [[nodiscard]] double latency_quantile_ms(double q) const;
 };
 
 /// Run the generator; throws std::runtime_error when the server cannot

@@ -174,13 +174,14 @@ std::string dump_line(const RequestId& id, const std::string& jsonl) {
   return os.str();
 }
 
-std::string session_line(const RequestId& id, SessionId sid) {
+std::string session_line(const RequestId& id, SessionId sid, int shard) {
   std::ostringstream os;
   JsonWriter w(os);
   w.begin_object();
   if (id.present) w.kv("id", id.value);
   w.kv("ok", true);
   w.kv("session", static_cast<std::uint64_t>(sid));
+  w.kv("shard", static_cast<std::uint64_t>(shard < 0 ? 0 : shard));
   w.end_object();
   return os.str();
 }
@@ -220,21 +221,22 @@ bool ProtocolHandler::handle_line(std::string_view line, WriteFn write) {
       return true;
     }
     if (op == "stats") {
-      // Live telemetry: a point-in-time registry snapshot rendered as
-      // Prometheus text exposition, answered synchronously (no strand —
-      // stats must work even when every session is wedged).
-      const obs::MetricsRegistry* metrics = server_.config().metrics;
-      if (metrics == nullptr) {
+      // Live telemetry: a point-in-time merged snapshot (cluster
+      // counters + per-shard serve.shard<i>.* + aggregated totals)
+      // rendered as Prometheus text exposition, answered synchronously
+      // (no strand — stats must work even when every session is
+      // wedged).
+      if (cluster_.config().metrics == nullptr) {
         write(error_line(id, "stats: server has no metrics registry"));
         return true;
       }
-      write(stats_line(id, metrics->snapshot()));
+      write(stats_line(id, cluster_.merged_snapshot()));
       return true;
     }
     if (op == "dump") {
       // On-demand flight-recorder dump: inline by default, to a file when
       // "path" is given. Synchronous for the same reason as stats.
-      const obs::FlightRecorder* rec = server_.config().recorder;
+      const obs::FlightRecorder* rec = cluster_.config().recorder;
       if (rec == nullptr) {
         write(error_line(id, "dump: server has no flight recorder"));
         return true;
@@ -253,22 +255,68 @@ bool ProtocolHandler::handle_line(std::string_view line, WriteFn write) {
       return true;
     }
     if (op == "shutdown") {
-      server_.drain();  // flushes every queued response first
+      cluster_.drain();  // flushes every queued response first
       write(ok_line(id));
       return false;
+    }
+    if (op == "cluster") {
+      std::ostringstream os;
+      JsonWriter w(os);
+      w.begin_object();
+      if (id.present) w.kv("id", id.value);
+      w.kv("ok", true);
+      const int n = cluster_.shards();
+      w.kv("shards", static_cast<std::uint64_t>(n));
+      w.kv("sessions", static_cast<std::uint64_t>(
+                           cluster_.session_count()));
+      w.key("shard_sessions");
+      w.begin_array();
+      for (int i = 0; i < n; ++i) {
+        w.value(static_cast<std::uint64_t>(cluster_.session_count(i)));
+      }
+      w.end_array();
+      w.key("in_ring");
+      w.begin_array();
+      for (int i = 0; i < n; ++i) w.value(cluster_.shard_in_ring(i));
+      w.end_array();
+      w.end_object();
+      write(os.str());
+      return true;
+    }
+    if (op == "evacuate") {
+      const JsonValue* shv = req.find("shard");
+      if (shv == nullptr || !shv->is_number()) {
+        write(error_line(id, "evacuate requires shard (number)"));
+        return true;
+      }
+      const int shard = static_cast<int>(shv->number);
+      const int migrated = cluster_.evacuate(shard);
+      std::ostringstream os;
+      JsonWriter w(os);
+      w.begin_object();
+      if (id.present) w.kv("id", id.value);
+      w.kv("ok", true);
+      w.kv("shard", static_cast<std::uint64_t>(shard));
+      w.kv("migrated", static_cast<std::uint64_t>(migrated));
+      w.end_object();
+      write(os.str());
+      return true;
     }
     if (op == "open") {
       Session::Config scfg;
       scfg.policy = req.string_or("policy", "equi");
       scfg.machines = static_cast<int>(req.number_or("machines", 1.0));
       scfg.speed = req.number_or("speed", 1.0);
+      const auto key =
+          static_cast<std::uint64_t>(req.number_or("key", 0.0));
       SessionId sid = 0;
-      const Submit verdict = server_.open(scfg, sid);
+      int shard = -1;
+      const Submit verdict = cluster_.open(scfg, sid, key, &shard);
       if (verdict != Submit::kAccepted) {
         write(error_line(id, "open rejected", reject_reason(verdict)));
         return true;
       }
-      write(session_line(id, sid));
+      write(session_line(id, sid, shard));
       return true;
     }
     if (op == "restore") {
@@ -279,12 +327,14 @@ bool ProtocolHandler::handle_line(std::string_view line, WriteFn write) {
       }
       auto session = Session::restore(read_snapshot_file(path), nullptr);
       SessionId sid = 0;
-      const Submit verdict = server_.adopt(std::move(session), sid);
+      int shard = -1;
+      const Submit verdict =
+          cluster_.adopt(std::move(session), sid, 0, &shard);
       if (verdict != Submit::kAccepted) {
         write(error_line(id, "restore rejected", reject_reason(verdict)));
         return true;
       }
-      write(session_line(id, sid));
+      write(session_line(id, sid, shard));
       return true;
     }
 
@@ -297,9 +347,24 @@ bool ProtocolHandler::handle_line(std::string_view line, WriteFn write) {
     const auto sid = static_cast<SessionId>(sidv->number);
 
     if (op == "close") {
-      const Submit verdict = server_.close(sid);
+      const Submit verdict = cluster_.close(sid);
       if (verdict != Submit::kAccepted) {
         write(error_line(id, "close rejected", reject_reason(verdict)));
+        return true;
+      }
+      write(ok_line(id));
+      return true;
+    }
+    if (op == "migrate") {
+      const JsonValue* shv = req.find("shard");
+      if (shv == nullptr || !shv->is_number()) {
+        write(error_line(id, "migrate requires shard (number)"));
+        return true;
+      }
+      const Submit verdict =
+          cluster_.migrate(sid, static_cast<int>(shv->number));
+      if (verdict != Submit::kAccepted) {
+        write(error_line(id, "migrate rejected", reject_reason(verdict)));
         return true;
       }
       write(ok_line(id));
@@ -356,7 +421,7 @@ bool ProtocolHandler::handle_line(std::string_view line, WriteFn write) {
 
     // Wrap so an op failure answers the request instead of killing the
     // strand silently.
-    const Submit verdict = server_.submit(
+    const Submit verdict = cluster_.submit(
         sid, [id, write, task = std::move(task)](Session& s) {
           try {
             task(s);

@@ -5,7 +5,9 @@
 // (docs/API.md §serve/ has the full field tables):
 //
 //   {"op":"open","id":1,"policy":"equi","machines":4,"speed":1}
-//     -> {"id":1,"ok":true,"session":7}
+//     -> {"id":1,"ok":true,"session":7,"shard":2}
+//   {"op":"open","id":1,...,"key":42}       -> consistent-hash routing
+//                                              key (default: session id)
 //   {"op":"admit","id":2,"session":7,
 //    "job":{"id":0,"release":0,"size":2.5,"curve":"pow:0.5"}}
 //   {"op":"advance","id":3,"session":7,"to":10.5}
@@ -23,6 +25,20 @@
 //   {"op":"dump","id":12,"path":"f.jsonl"}  -> dump written to the file
 //   {"op":"shutdown","id":13}               -> drains, then stops serving
 //
+// Cluster administration (serve/cluster.hpp):
+//
+//   {"op":"migrate","id":14,"session":7,"shard":1}
+//     -> ok once the live migration *started* (it completes on the
+//        source strand; submits racing it answer {"reject":"draining"}
+//        and retry onto the new shard)
+//   {"op":"evacuate","id":15,"shard":0}
+//     -> {"id":15,"ok":true,"shard":0,"migrated":5} — synchronous:
+//        takes the shard out of the ring, live-migrates its sessions to
+//        their new ring positions, drains the emptied shard
+//   {"op":"cluster","id":16}
+//     -> {"id":16,"ok":true,"shards":4,"sessions":12,
+//         "shard_sessions":[3,4,0,5],"in_ring":[true,true,false,true]}
+//
 // stats and dump answer synchronously (never queued on a strand): the
 // telemetry plane must respond even when every session is wedged. stats
 // requires Server::Config::metrics, dump requires Config::recorder;
@@ -33,38 +49,61 @@
 // {"reject":"queue_full"} so clients can distinguish backpressure from
 // caller bugs. Curve specs are "par", "seq", or "pow:<alpha>".
 //
-// Session operations execute asynchronously on the server's strands;
-// their responses are emitted from pool threads via the WriteFn, which
-// must therefore be thread-safe (the transports wrap a mutex around the
-// output). Per session, responses arrive in request order; across
-// sessions they interleave.
+// Session operations execute asynchronously on the shard servers'
+// strands; their responses are emitted from pool threads via the
+// WriteFn, which must therefore be thread-safe (the transports wrap a
+// mutex around the output). Per session, responses arrive in request
+// order; across sessions they interleave.
+//
+// The handler is backed by a serve::Cluster. A Server::Config
+// constructs the single-shard special case (the PR-4 shape every
+// existing caller relies on); a Cluster::Config opens the sharded
+// plane. Beside NDJSON the same handler speaks PBIN, the binary
+// protocol (serve/binproto.hpp): handle_frame() is the frame-payload
+// twin of handle_line(), and both surfaces drive the same cluster.
 #pragma once
 
 #include <functional>
 #include <string>
 #include <string_view>
 
-#include "serve/server.hpp"
+#include "serve/cluster.hpp"
 
 namespace parsched::serve {
 
 class ProtocolHandler {
  public:
-  /// Thread-safe sink for one complete response line (no trailing '\n').
+  /// Thread-safe sink for one complete response line (NDJSON, no
+  /// trailing '\n') or one response frame payload (PBIN, unframed).
   using WriteFn = std::function<void(const std::string&)>;
 
-  explicit ProtocolHandler(Server::Config cfg) : server_(cfg) {}
+  /// Single-shard compatibility: one Server-shaped shard.
+  explicit ProtocolHandler(Server::Config cfg)
+      : cluster_(Cluster::Config{1, cfg.threads, cfg.max_sessions,
+                                 cfg.max_queue, cfg.metrics,
+                                 cfg.recorder}) {}
 
-  /// Process one request line. Responses (possibly deferred to a pool
-  /// thread) go to `write`, which is retained until the response is
-  /// emitted. Returns false once a "shutdown" request has been served —
-  /// the transport should stop reading and tear down.
+  explicit ProtocolHandler(Cluster::Config cfg) : cluster_(cfg) {}
+
+  /// Process one NDJSON request line. Responses (possibly deferred to a
+  /// pool thread) go to `write`, which is retained until the response
+  /// is emitted. Returns false once a "shutdown" request has been
+  /// served — the transport should stop reading and tear down.
   bool handle_line(std::string_view line, WriteFn write);
 
-  [[nodiscard]] Server& server() { return server_; }
+  /// Process one PBIN request frame payload (serve/binproto.cpp).
+  /// `write` receives the response payload, unframed — the transport
+  /// adds the length prefix. Same shutdown contract as handle_line.
+  bool handle_frame(std::string_view payload, WriteFn write);
+
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+  /// Flush every queued response and stop accepting work (the
+  /// transports call this on EOF).
+  void drain() { cluster_.drain(); }
 
  private:
-  Server server_;
+  Cluster cluster_;
 };
 
 }  // namespace parsched::serve

@@ -1,0 +1,165 @@
+#include "serve/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "serve/cluster.hpp"
+
+namespace parsched::serve {
+
+LoadShape parse_load_shape(std::string_view name) {
+  if (name == "uniform") return LoadShape::kUniform;
+  if (name == "zipf") return LoadShape::kZipf;
+  if (name == "burst") return LoadShape::kBurst;
+  if (name == "diurnal") return LoadShape::kDiurnal;
+  throw std::invalid_argument("unknown load shape: \"" + std::string(name) +
+                              "\" (want uniform|zipf|burst|diurnal)");
+}
+
+const char* load_shape_name(LoadShape shape) {
+  switch (shape) {
+    case LoadShape::kUniform:
+      return "uniform";
+    case LoadShape::kZipf:
+      return "zipf";
+    case LoadShape::kBurst:
+      return "burst";
+    case LoadShape::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+double half_step_pow(double base, double theta) {
+  const double doubled = theta * 2.0;
+  if (!(doubled >= 0.0) || doubled != std::floor(doubled) ||
+      doubled > 1024.0) {
+    throw std::invalid_argument(
+        "exponent must be a small non-negative multiple of 0.5, got " +
+        std::to_string(theta));
+  }
+  if (base < 0.0) {
+    throw std::invalid_argument("base must be non-negative, got " +
+                                std::to_string(base));
+  }
+  auto halves = static_cast<unsigned>(doubled);
+  // base^(halves/2): integer power times an optional sqrt. Multiply and
+  // sqrt are correctly rounded, so this is bit-identical everywhere —
+  // which libm pow is not.
+  double out = 1.0;
+  for (unsigned i = 0; i < halves / 2; ++i) out *= base;
+  if ((halves & 1u) != 0) out *= std::sqrt(base);
+  return out;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler needs n >= 1");
+  cum_.resize(n);
+  double running = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += 1.0 / half_step_pow(static_cast<double>(i + 1), theta);
+    cum_[i] = running;
+  }
+  const double total = cum_.back();
+  for (double& c : cum_) c /= total;
+  cum_.back() = 1.0;  // guard the last bucket against rounding
+}
+
+std::size_t ZipfSampler::sample(double u) const {
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cum_.begin());
+  return idx < cum_.size() ? idx : cum_.size() - 1;
+}
+
+double ZipfSampler::weight(std::size_t i) const {
+  if (i >= cum_.size()) throw std::out_of_range("ZipfSampler::weight");
+  return i == 0 ? cum_[0] : cum_[i] - cum_[i - 1];
+}
+
+std::vector<int> zipf_admission_counts(std::size_t sessions, int total_jobs,
+                                       double theta) {
+  if (sessions == 0 || total_jobs < 0) {
+    throw std::invalid_argument("zipf_admission_counts: empty fleet");
+  }
+  std::vector<double> w(sessions);
+  double total_w = 0.0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    w[i] = 1.0 / half_step_pow(static_cast<double>(i + 1), theta);
+    total_w += w[i];
+  }
+  // Largest-remainder apportionment: exact total, deterministic ties.
+  std::vector<int> counts(sessions, 0);
+  std::vector<double> frac(sessions, 0.0);
+  int assigned = 0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const double quota = static_cast<double>(total_jobs) * w[i] / total_w;
+    counts[i] = static_cast<int>(quota);
+    frac[i] = quota - static_cast<double>(counts[i]);
+    assigned += counts[i];
+  }
+  std::vector<std::size_t> order(sessions);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&frac](std::size_t a, std::size_t b) {
+                     return frac[a] > frac[b];
+                   });
+  for (std::size_t k = 0; assigned < total_jobs; ++k) {
+    counts[order[k % sessions]] += 1;
+    ++assigned;
+  }
+  if (total_jobs >= static_cast<int>(sessions)) {
+    // The Zipf tail can round to zero; a session with no jobs would
+    // never exercise its strand, so top each one up from the heaviest.
+    for (std::size_t i = 0; i < sessions; ++i) {
+      if (counts[i] > 0) continue;
+      const auto richest = static_cast<std::size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+      counts[richest] -= 1;
+      counts[i] = 1;
+    }
+  }
+  return counts;
+}
+
+std::uint64_t key_for_shard(int shard, int shards, std::uint64_t start) {
+  for (std::uint64_t k = start; k < start + (1u << 20); ++k) {
+    if (consistent_shard(k, shards) == shard) return k;
+  }
+  throw std::runtime_error("no key found for shard " + std::to_string(shard) +
+                           " of " + std::to_string(shards));
+}
+
+double burst_release(int j, int per_burst, double gap) {
+  if (j < 0 || per_burst < 1) {
+    throw std::invalid_argument("burst_release: need j >= 0, per_burst >= 1");
+  }
+  return static_cast<double>(j / per_burst) * gap;
+}
+
+double diurnal_release(int j, int jobs, double duration, double peak_ratio) {
+  if (j < 0 || j >= jobs || !(duration > 0.0) || !(peak_ratio >= 1.0)) {
+    throw std::invalid_argument("diurnal_release: bad arguments");
+  }
+  const double u =
+      (static_cast<double>(j) + 0.5) / static_cast<double>(jobs);
+  // Exact sentinel: peak 1.0 means "no ramp", not "nearly flat" — the
+  // uniform branch must be taken bit-deterministically.
+  if (peak_ratio == 1.0) return u * duration;  // lint: float-eq-ok
+  // Rate ramps 1 -> peak over [0, T/2], back down over [T/2, T]. The
+  // cumulative arrival curve on the upslope is t + (p-1) t^2 / (2 h);
+  // its inverse needs only a sqrt, keeping releases bit-deterministic.
+  const double half = duration / 2.0;
+  const double half_mass = half * (1.0 + peak_ratio) / 2.0;
+  const double target = u * (2.0 * half_mass);
+  const double a = (peak_ratio - 1.0) / (2.0 * half);
+  const auto invert_upslope = [a](double mass) {
+    return (std::sqrt(1.0 + 4.0 * a * mass) - 1.0) / (2.0 * a);
+  };
+  if (target <= half_mass) return invert_upslope(target);
+  return duration - invert_upslope(2.0 * half_mass - target);
+}
+
+}  // namespace parsched::serve

@@ -1,0 +1,100 @@
+// parsched — heavy-traffic load shapes for the loadgen client.
+//
+// PR-4's loadgen drove a uniform fleet: every session equally popular,
+// arrivals evenly spaced. Real serving traffic is none of those things,
+// and the cluster plane (serve/cluster.hpp) is sized by its worst
+// cases. This module supplies the three adversarial shapes the bench
+// and soak legs exercise:
+//
+//   zipf     session popularity follows a Zipf(theta) law — session 0
+//            absorbs a constant fraction of all jobs, the tail starves.
+//            Stresses per-strand FIFO depth and shard imbalance.
+//   burst    every session keys itself onto ONE shard (the ring
+//            position of the first session) and releases arrive in
+//            tight volleys. The adversarial worst case for
+//            consistent-hash routing: N-1 shards idle, one melts.
+//   diurnal  arrival rate ramps linearly to a peak mid-run and back —
+//            a compressed day. Stresses queue growth and drain on the
+//            downslope.
+//
+// Everything here is bit-deterministic across platforms: the only
+// floating-point operations used are +,-,*,/ and sqrt, all of which
+// IEEE-754 requires to be correctly rounded (libm's pow/exp make no
+// such promise, so Zipf exponents are restricted to multiples of 0.5
+// and evaluated via integer powers and sqrt). The golden vectors in
+// tests/test_cluster.cpp pin this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace parsched::serve {
+
+enum class LoadShape {
+  kUniform,
+  kZipf,
+  kBurst,
+  kDiurnal,
+};
+
+/// Parse "uniform" / "zipf" / "burst" / "diurnal"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] LoadShape parse_load_shape(std::string_view name);
+[[nodiscard]] const char* load_shape_name(LoadShape shape);
+
+/// base^theta for theta a non-negative multiple of 0.5, evaluated with
+/// integer powers and sqrt only (bit-deterministic, unlike libm pow).
+/// Throws std::invalid_argument for other exponents or base < 0.
+[[nodiscard]] double half_step_pow(double base, double theta);
+
+/// Zipf(theta) popularity over n sessions: weight(i) ∝ 1/(i+1)^theta.
+/// theta must be a non-negative multiple of 0.5 (see half_step_pow);
+/// theta == 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+
+  /// Inverse-CDF draw: map u ∈ [0,1) to a session index. Monotone in u.
+  [[nodiscard]] std::size_t sample(double u) const;
+
+  /// Normalized weight of session i (sums to 1 over all sessions).
+  [[nodiscard]] double weight(std::size_t i) const;
+
+  [[nodiscard]] std::size_t size() const { return cum_.size(); }
+
+ private:
+  std::vector<double> cum_;  // cumulative normalized weights
+};
+
+/// Deterministic Zipf job split: exactly `total_jobs` jobs over
+/// `sessions` sessions by largest-remainder apportionment of the
+/// Zipf(theta) weights (ties broken toward lower indices). Every
+/// session receives at least one job when total_jobs >= sessions.
+[[nodiscard]] std::vector<int> zipf_admission_counts(std::size_t sessions,
+                                                     int total_jobs,
+                                                     double theta);
+
+/// Smallest key >= start whose consistent-hash position lands on
+/// `shard` in a full ring of `shards` shards (serve/cluster.hpp). The
+/// burst shape opens every session with such a key so the whole fleet
+/// collapses onto one shard. Throws std::runtime_error if no key is
+/// found within 2^20 probes (cannot happen for a ring that owns any
+/// arc, which every in-ring shard does).
+[[nodiscard]] std::uint64_t key_for_shard(int shard, int shards,
+                                          std::uint64_t start = 1);
+
+/// Release time of job j under the burst shape: volleys of
+/// `per_burst` jobs at instants k * gap (k = 0, 1, ...).
+[[nodiscard]] double burst_release(int j, int per_burst, double gap);
+
+/// Release time under the diurnal shape: the j-th of `jobs` arrivals
+/// when the rate ramps linearly from 1 to `peak_ratio` over the first
+/// half of `duration` and back down over the second half. u = (j+0.5)/
+/// jobs is inverted through the piecewise-quadratic cumulative-arrival
+/// curve (sqrt only). peak_ratio >= 1; peak_ratio == 1 is uniform.
+[[nodiscard]] double diurnal_release(int j, int jobs, double duration,
+                                     double peak_ratio);
+
+}  // namespace parsched::serve

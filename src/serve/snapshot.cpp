@@ -1,10 +1,10 @@
 #include "serve/snapshot.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "serve/wire.hpp"
 #include "util/fsio.hpp"
 
 namespace parsched::serve {
@@ -13,128 +13,11 @@ namespace {
 
 constexpr char kMagic[4] = {'P', 'S', 'N', 'P'};
 
-// ---- writer ---------------------------------------------------------------
-
-class Writer {
- public:
-  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-    }
-  }
-
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-    }
-  }
-
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-
-  void f64(double v) {
-    // Raw IEEE-754 bits: the only encoding that round-trips every value
-    // (including ±inf and signed zero) exactly.
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-
-  void str(std::string_view s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.append(s.data(), s.size());
-  }
-
-  void size(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
-
-  [[nodiscard]] std::string take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-// ---- reader ---------------------------------------------------------------
-
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  [[nodiscard]] std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-
-  [[nodiscard]] std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(
-                                                          i)]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  [[nodiscard]] std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(
-                                                          i)]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  [[nodiscard]] std::int64_t i64() {
-    return static_cast<std::int64_t>(u64());
-  }
-
-  [[nodiscard]] double f64() {
-    const std::uint64_t bits = u64();
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  [[nodiscard]] std::string str() {
-    const std::uint32_t n = u32();
-    need(n);
-    std::string s(data_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-
-  [[nodiscard]] std::size_t size() {
-    const std::uint32_t n = u32();
-    // A count cannot exceed the remaining bytes (every element is at
-    // least one byte); reject early so a corrupt count cannot drive a
-    // multi-gigabyte allocation.
-    if (n > data_.size() - pos_) fail("element count exceeds blob size");
-    return n;
-  }
-
-  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
-
-  [[noreturn]] void fail(const std::string& why) const {
-    std::ostringstream os;
-    os << "corrupt snapshot at byte " << pos_ << ": " << why;
-    throw std::invalid_argument(os.str());
-  }
-
- private:
-  void need(std::size_t n) {
-    if (data_.size() - pos_ < n) fail("truncated");
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
+// The byte-level codec lives in serve/wire.hpp, shared with the PBIN
+// binary protocol (serve/binproto) so both formats carry doubles as raw
+// IEEE-754 bits.
+using Writer = WireWriter;
+using Reader = WireReader;
 
 // ---- field codecs ---------------------------------------------------------
 
@@ -339,7 +222,7 @@ std::string encode_snapshot(const SessionSnapshot& snap) {
 }
 
 SessionSnapshot decode_snapshot(std::string_view blob) {
-  Reader r(blob);
+  Reader r(blob, "snapshot");
   const std::string magic = r.str();
   if (magic != std::string_view(kMagic, sizeof(kMagic))) {
     r.fail("bad magic (not a parsched snapshot)");

@@ -1,5 +1,6 @@
 #include "serve/transport.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <ctime>
@@ -16,6 +17,7 @@
 #include <unistd.h>
 
 #include "obs/metrics.hpp"
+#include "serve/binproto.hpp"
 
 namespace parsched::serve {
 
@@ -29,26 +31,14 @@ void sleep_seconds(double seconds) {
   nanosleep(&ts, nullptr);
 }
 
-/// Write the whole buffer, riding out EINTR and partial writes.
-/// MSG_NOSIGNAL: a vanished client must surface as EPIPE, not SIGPIPE.
-bool send_all(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 /// One accepted connection. Pool threads write responses through
-/// write_line() while the poll loop reads requests, so writes serialize
-/// behind `mu` and survive the connection being closed (they become
-/// no-ops).
+/// write_line()/write_frame() while the poll loop reads requests, so
+/// writes serialize behind `mu` and survive the connection being closed
+/// (they become no-ops). The protocol mode is decided by the first byte
+/// the client sends and never changes afterwards.
 struct Connection {
+  enum class Mode { kUndecided, kLine, kBinary };
+
   explicit Connection(int sock) : fd(sock) {}
 
   void write_line(const std::string& line) {
@@ -57,6 +47,20 @@ struct Connection {
     std::string framed = line;
     framed.push_back('\n');
     if (!send_all(fd, framed.data(), framed.size())) closed = true;
+  }
+
+  void write_frame(const std::string& payload) {
+    const std::string framed = frame(payload);
+    std::lock_guard<std::mutex> lock(mu);
+    if (closed) return;
+    if (!send_all(fd, framed.data(), framed.size())) closed = true;
+  }
+
+  /// Unframed bytes — the PBIN hello only.
+  void write_raw(const std::string& bytes) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (closed) return;
+    if (!send_all(fd, bytes.data(), bytes.size())) closed = true;
   }
 
   void close() {
@@ -70,10 +74,116 @@ struct Connection {
   std::mutex mu;
   int fd;
   bool closed = false;
-  std::string inbox;  // partial request line (poll-loop only)
+  Mode mode = Mode::kUndecided;
+  bool hello_done = false;  // PBIN handshake answered (poll-loop only)
+  std::string inbox;        // unconsumed request bytes (poll-loop only)
+  FrameBuffer frames;       // PBIN reassembly (poll-loop only)
 };
 
+/// Drain `conn->inbox` as NDJSON lines. Returns false once a shutdown
+/// request has been served.
+bool pump_lines(ProtocolHandler& handler,
+                const std::shared_ptr<Connection>& conn) {
+  std::size_t start = 0;
+  bool running = true;
+  for (;;) {
+    const std::size_t nl = conn->inbox.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = conn->inbox.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    const std::shared_ptr<Connection> sink = conn;
+    if (!handler.handle_line(line, [sink](const std::string& resp) {
+          sink->write_line(resp);
+        })) {
+      running = false;
+      break;
+    }
+  }
+  conn->inbox.erase(0, start);
+  return running;
+}
+
+/// Drain `conn->inbox` as PBIN: hello handshake first, then frames.
+/// Returns false once a shutdown request has been served; a corrupt
+/// hello or an oversized frame marks the connection dead instead (the
+/// byte stream cannot be resynchronized).
+bool pump_frames(ProtocolHandler& handler,
+                 const std::shared_ptr<Connection>& conn, bool& kill) {
+  if (!conn->hello_done) {
+    if (conn->inbox.size() < kBinHelloSize) return true;
+    std::uint32_t proposed = 0;
+    try {
+      proposed = decode_hello(
+          std::string_view(conn->inbox).substr(0, kBinHelloSize));
+    } catch (const std::invalid_argument&) {
+      kill = true;
+      return true;
+    }
+    conn->inbox.erase(0, kBinHelloSize);
+    const std::uint32_t negotiated =
+        proposed == 0 ? 0 : std::min(proposed, kBinProtoVersion);
+    conn->write_raw(encode_hello(negotiated));
+    if (negotiated == 0) {
+      kill = true;
+      return true;
+    }
+    conn->hello_done = true;
+  }
+  conn->frames.feed(conn->inbox);
+  conn->inbox.clear();
+  std::string payload;
+  try {
+    while (conn->frames.next(payload)) {
+      const std::shared_ptr<Connection> sink = conn;
+      if (!handler.handle_frame(payload, [sink](const std::string& resp) {
+            sink->write_frame(resp);
+          })) {
+        return false;
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    kill = true;  // oversized frame length: corruption
+  }
+  return true;
+}
+
 }  // namespace
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not SIGPIPE.
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool accept_should_retry(int error) {
+  switch (error) {
+    case EINTR:         // signal during accept — just try again
+    case ECONNABORTED:  // client gave up while queued — not our problem
+#if defined(EPROTO)
+    case EPROTO:  // protocol hiccup on the nascent socket
+#endif
+    case EAGAIN:  // raced another accept / spurious wakeup
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EMFILE:   // fd exhaustion: shed this client, keep listening
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return true;
+    default:
+      return false;  // EBADF/EINVAL/...: the listener itself is broken
+  }
+}
 
 void serve_stdio(ProtocolHandler& handler) {
   auto out_mu = std::make_shared<std::mutex>();
@@ -87,7 +197,7 @@ void serve_stdio(ProtocolHandler& handler) {
     if (!handler.handle_line(line, write)) return;
   }
   // EOF: flush every queued response before returning.
-  handler.server().drain();
+  handler.drain();
 }
 
 void serve_unix_socket(ProtocolHandler& handler, const std::string& path) {
@@ -127,7 +237,13 @@ void serve_unix_socket(ProtocolHandler& handler, const std::string& path) {
     }
     if ((fds[0].revents & POLLIN) != 0) {
       const int fd = ::accept(listener, nullptr, nullptr);
-      if (fd >= 0) conns.emplace(fd, std::make_shared<Connection>(fd));
+      if (fd >= 0) {
+        conns.emplace(fd, std::make_shared<Connection>(fd));
+      } else if (!accept_should_retry(errno)) {
+        break;  // the listener is broken; drain and tear down below
+      }
+      // Transient accept failure: the aborted client is gone, the
+      // listener keeps serving everyone else.
     }
     std::vector<int> dead;
     for (std::size_t i = 1; i < fds.size(); ++i) {
@@ -143,22 +259,18 @@ void serve_unix_socket(ProtocolHandler& handler, const std::string& path) {
         continue;
       }
       conn->inbox.append(buf, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      for (;;) {
-        const std::size_t nl = conn->inbox.find('\n', start);
-        if (nl == std::string::npos) break;
-        const std::string line = conn->inbox.substr(start, nl - start);
-        start = nl + 1;
-        if (line.empty()) continue;
-        const std::shared_ptr<Connection> sink = conn;
-        if (!handler.handle_line(line, [sink](const std::string& resp) {
-              sink->write_line(resp);
-            })) {
-          running = false;
-          break;
-        }
+      if (conn->mode == Connection::Mode::kUndecided) {
+        conn->mode = conn->inbox.front() == kBinMagic[0]
+                         ? Connection::Mode::kBinary
+                         : Connection::Mode::kLine;
       }
-      conn->inbox.erase(0, start);
+      bool kill = false;
+      if (conn->mode == Connection::Mode::kLine) {
+        running = pump_lines(handler, conn);
+      } else {
+        running = pump_frames(handler, conn, kill);
+      }
+      if (kill) dead.push_back(fds[i].fd);
       if (!running) break;
     }
     for (const int fd : dead) {
@@ -170,14 +282,14 @@ void serve_unix_socket(ProtocolHandler& handler, const std::string& path) {
     }
   }
 
-  // Shutdown already drained the server (every response is out); now the
-  // endpoints can go.
+  // Shutdown already drained the cluster (every response is out); now
+  // the endpoints can go.
   for (auto& [fd, conn] : conns) conn->close();
   ::close(listener);
   ::unlink(path.c_str());
 }
 
-Client::Client(const std::string& path, double timeout_seconds) {
+int connect_unix_client(const std::string& path, double timeout_seconds) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -193,8 +305,7 @@ Client::Client(const std::string& path, double timeout_seconds) {
     }
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
-      fd_ = fd;
-      return;
+      return fd;
     }
     ::close(fd);
     if (obs::monotonic_seconds() >= deadline) {
@@ -204,6 +315,9 @@ Client::Client(const std::string& path, double timeout_seconds) {
     sleep_seconds(0.02);  // the server may still be binding
   }
 }
+
+Client::Client(const std::string& path, double timeout_seconds)
+    : fd_(connect_unix_client(path, timeout_seconds)) {}
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);

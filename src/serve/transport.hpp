@@ -1,24 +1,35 @@
-// parsched — NDJSON transports for the serve protocol.
+// parsched — transports for the serve protocols.
 //
 // Two server transports share one ProtocolHandler:
 //
-//   serve_stdio()        lines on stdin, responses on stdout. One client,
-//                        trivially debuggable (`echo '{"op":"ping"}' |
+//   serve_stdio()        NDJSON lines on stdin, responses on stdout. One
+//                        client, trivially debuggable
+//                        (`echo '{"op":"ping"}' |
 //                        parsched serve --stdio`).
 //   serve_unix_socket()  a poll(2) loop on a Unix-domain listener; many
-//                        concurrent clients, one line buffer each.
+//                        concurrent clients. Each connection speaks
+//                        NDJSON *or* PBIN (serve/binproto.hpp), decided
+//                        by its first byte: 'P' opens the PBIN hello,
+//                        anything else an NDJSON line stream.
 //
 // Both return once a client's "shutdown" request has been served (or on
-// EOF / listener error), after draining the server so every queued
+// EOF / listener error), after draining the cluster so every queued
 // response is flushed. Responses are produced on pool threads; each
 // connection serializes its writes behind a mutex, so concurrent
-// sessions interleave whole lines, never bytes.
+// sessions interleave whole lines/frames, never bytes.
+//
+// The accept loop is hardened against transient failures: EINTR,
+// ECONNABORTED and load-shedding errnos (EMFILE/ENFILE/ENOBUFS) skip
+// the failed accept and keep listening (accept_should_retry()); only a
+// genuinely broken listener (EBADF, EINVAL) stops the loop.
 //
 // Client is the matching blocking NDJSON client (used by parsched
 // loadgen and the protocol round-trip tests): connect with retry —
-// the server may still be binding — then strict request/response.
+// the server may still be binding — then strict request/response. The
+// PBIN twin, BinClient, lives in serve/binproto.hpp.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "serve/protocol.hpp"
@@ -28,10 +39,25 @@ namespace parsched::serve {
 /// Serve NDJSON over stdin/stdout until shutdown or EOF.
 void serve_stdio(ProtocolHandler& handler);
 
-/// Serve NDJSON over a Unix-domain socket at `path` (unlinked and
-/// re-created). Throws std::runtime_error when the listener cannot be
-/// set up; returns after a shutdown request.
+/// Serve NDJSON + PBIN over a Unix-domain socket at `path` (unlinked
+/// and re-created). Throws std::runtime_error when the listener cannot
+/// be set up; returns after a shutdown request.
 void serve_unix_socket(ProtocolHandler& handler, const std::string& path);
+
+/// True when an ::accept() failure with this errno is transient — the
+/// aborted/interrupted connection is skipped and the listener keeps
+/// accepting. False means the listener itself is broken.
+[[nodiscard]] bool accept_should_retry(int error);
+
+/// Connect to a Unix-domain socket, retrying (the server may still be
+/// binding) until `timeout_seconds` elapses; throws std::runtime_error
+/// on timeout. Returns the connected fd (caller owns/closes).
+[[nodiscard]] int connect_unix_client(const std::string& path,
+                                      double timeout_seconds);
+
+/// Write the whole buffer, riding out EINTR and partial writes; false
+/// when the peer vanished (EPIPE surfaces as a return, never a signal).
+bool send_all(int fd, const char* data, std::size_t len);
 
 /// Blocking NDJSON client over a Unix-domain socket. Not thread-safe:
 /// one client per thread (loadgen opens one per session).

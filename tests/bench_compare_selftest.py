@@ -68,6 +68,19 @@ def report():
                             "p99_ms"],
                 "rows": [["client_latency", 0.08, 0.06, 0.2, 0.4]],
             },
+            {
+                "name": "cluster_latency",
+                "columns": ["metric", "count", "p50_ms", "p95_ms",
+                            "p99_ms"],
+                "rows": [["latency", 25000, 0.03, 0.38, 0.59]],
+            },
+            {
+                "name": "cluster_throughput",
+                "columns": ["metric", "sessions", "shards", "requests",
+                            "requests_per_sec", "jobs_per_sec"],
+                "rows": [["throughput", 1000, 4, 25000, 33000.0,
+                          27000.0]],
+            },
         ],
         "metrics": [{
             "name": "serve.client.latency_ms",
@@ -108,6 +121,16 @@ def scale_rates(doc, factor):
                 i = t["columns"].index(col)
                 for row in t["rows"]:
                     row[i] /= factor
+        if t["name"] == "cluster_latency":
+            for col in ("p50_ms", "p95_ms", "p99_ms"):
+                i = t["columns"].index(col)
+                for row in t["rows"]:
+                    row[i] /= factor
+        if t["name"] == "cluster_throughput":
+            for col in ("requests_per_sec", "jobs_per_sec"):
+                i = t["columns"].index(col)
+                for row in t["rows"]:
+                    row[i] *= factor
     for m in doc["metrics"]:
         if m["kind"] == "histogram":
             for q in ("p50", "p90", "p99"):
@@ -181,6 +204,25 @@ def main() -> int:
         t["rows"][0][i] = 3.4
         return doc
 
+    def cluster_throughput_regressed(doc):
+        # The sharded soak retires 25% fewer requests per second while
+        # every sibling gate holds — a cluster-plane regression the
+        # calibration must not absorb.
+        t = next(t for t in doc["tables"]
+                 if t["name"] == "cluster_throughput")
+        i = t["columns"].index("requests_per_sec")
+        t["rows"][0][i] *= 0.75
+        return doc
+
+    def cluster_p99_spike(doc):
+        # The fleet p99 round-trip blows up 60% under an unchanged
+        # workload: the directional latency gate must catch it.
+        t = next(t for t in doc["tables"]
+                 if t["name"] == "cluster_latency")
+        i = t["columns"].index("p99_ms")
+        t["rows"][0][i] *= 1.6
+        return doc
+
     cases = [
         ("identical", lambda d: d, ["--auto-scale"], 0),
         ("regressed_one_gate", regressed_one_gate, ["--auto-scale"], 1),
@@ -200,6 +242,11 @@ def main() -> int:
         # later improves must not be read as a regression band.
         ("decide_speedup_floor_loose_tolerance",
          decide_speedup_floor_broken, ["--tolerance=0.99"], 1),
+        ("cluster_throughput_regressed", cluster_throughput_regressed,
+         ["--auto-scale"], 1),
+        ("cluster_throughput_regressed_raw", cluster_throughput_regressed,
+         [], 1),
+        ("cluster_p99_spike", cluster_p99_spike, ["--auto-scale"], 1),
     ]
 
     with tempfile.TemporaryDirectory(prefix="parsched-gate-") as tmp:

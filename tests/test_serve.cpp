@@ -18,7 +18,11 @@
 // `thread` (TSan) CI leg leans on.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -32,6 +36,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "sched/registry.hpp"
+#include "serve/binproto.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -1024,6 +1029,168 @@ TEST(Transport, LoadgenTotalsAreDeterministic) {
   const double a = run_once(testing::TempDir() + "serve_det_a.sock");
   const double b = run_once(testing::TempDir() + "serve_det_b.sock");
   EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------- transport hardening
+
+// The accept-loop error taxonomy: transient conditions (EINTR, a
+// connection aborted before accept, fd/buffer exhaustion) must retry;
+// a broken listener (EBADF, EINVAL) must stop the loop instead of
+// spinning on it forever.
+TEST(Transport, AcceptShouldRetryClassifiesErrnos) {
+  EXPECT_TRUE(serve::accept_should_retry(EINTR));
+  EXPECT_TRUE(serve::accept_should_retry(ECONNABORTED));
+  EXPECT_TRUE(serve::accept_should_retry(EPROTO));
+  EXPECT_TRUE(serve::accept_should_retry(EAGAIN));
+  EXPECT_TRUE(serve::accept_should_retry(EWOULDBLOCK));
+  EXPECT_TRUE(serve::accept_should_retry(EMFILE));
+  EXPECT_TRUE(serve::accept_should_retry(ENFILE));
+  EXPECT_TRUE(serve::accept_should_retry(ENOBUFS));
+  EXPECT_TRUE(serve::accept_should_retry(ENOMEM));
+  EXPECT_FALSE(serve::accept_should_retry(EBADF));
+  EXPECT_FALSE(serve::accept_should_retry(EINVAL));
+}
+
+// A client that connects and vanishes immediately (the kernel may hand
+// the accept loop an already-aborted socket, or EOF on first read) must
+// not hurt the listener: real sessions keep working afterwards.
+TEST(Transport, ListenerSurvivesAbortedConnections) {
+  const std::string path = testing::TempDir() + "serve_abort.sock";
+  serve::ProtocolHandler handler(server_config(1, 4, 16));
+  std::thread server_thread(  // lint: thread-ok
+      [&handler, &path] { serve::serve_unix_socket(handler, path); });
+
+  for (int i = 0; i < 16; ++i) {
+    const int fd = serve::connect_unix_client(path, 10.0);
+    if (i % 3 == 1) {
+      // Half a line, then gone.
+      ASSERT_TRUE(serve::send_all(fd, "{\"op\":\"pi", 9));
+    } else if (i % 3 == 2) {
+      // A torn PBIN hello, then gone.
+      const std::string hello = serve::encode_hello(serve::kBinProtoVersion);
+      ASSERT_TRUE(serve::send_all(fd, hello.data(), 3));
+    }
+    ::close(fd);
+  }
+
+  serve::Client client(path);
+  const std::string pong = client.request(R"({"op":"ping","id":1})");
+  EXPECT_NE(pong.find("\"ok\":true"), std::string::npos) << pong;
+  (void)client.request(R"({"op":"shutdown","id":2})");
+  server_thread.join();
+}
+
+// An NDJSON request line torn across send() calls — including a split
+// inside a UTF-8-less but multi-byte token like a number — must be
+// reassembled by the server's line buffer.
+TEST(Transport, NdjsonLineTornAcrossSends) {
+  const std::string path = testing::TempDir() + "serve_torn_line.sock";
+  serve::ProtocolHandler handler(server_config(1, 4, 16));
+  std::thread server_thread(  // lint: thread-ok
+      [&handler, &path] { serve::serve_unix_socket(handler, path); });
+
+  const int fd = serve::connect_unix_client(path, 10.0);
+  const std::string line = "{\"op\":\"ping\",\"id\":12345}\n";
+  auto read_line = [fd] {
+    std::string out;
+    char c = 0;
+    while (::recv(fd, &c, 1, 0) == 1) {
+      if (c == '\n') break;
+      out.push_back(c);
+    }
+    return out;
+  };
+  // Tear the request at every byte offset; each split must still parse
+  // to exactly one response.
+  for (std::size_t cut = 1; cut < line.size(); ++cut) {
+    ASSERT_TRUE(serve::send_all(fd, line.data(), cut));
+    timespec ts{0, 2'000'000};  // 2ms: let the first half land alone
+    nanosleep(&ts, nullptr);
+    ASSERT_TRUE(serve::send_all(fd, line.data() + cut, line.size() - cut));
+    const std::string resp = read_line();
+    EXPECT_NE(resp.find("\"id\":12345"), std::string::npos)
+        << "cut at " << cut << ": " << resp;
+    EXPECT_NE(resp.find("\"ok\":true"), std::string::npos)
+        << "cut at " << cut << ": " << resp;
+  }
+  // Two requests in one send() burst answer twice.
+  const std::string two = line + line;
+  ASSERT_TRUE(serve::send_all(fd, two.data(), two.size()));
+  EXPECT_NE(read_line().find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(read_line().find("\"ok\":true"), std::string::npos);
+  ::close(fd);
+
+  serve::Client client(path);
+  (void)client.request(R"({"op":"shutdown","id":99})");
+  server_thread.join();
+}
+
+// A PBIN frame torn at every byte offset — through the 4-byte length
+// prefix and through the payload — over a real socket. The hello itself
+// is also split.
+TEST(Transport, BinaryFrameTornAtEveryOffset) {
+  const std::string path = testing::TempDir() + "serve_torn_frame.sock";
+  serve::ProtocolHandler handler(server_config(1, 4, 16));
+  std::thread server_thread(  // lint: thread-ok
+      [&handler, &path] { serve::serve_unix_socket(handler, path); });
+
+  const int fd = serve::connect_unix_client(path, 10.0);
+  const std::string hello = serve::encode_hello(serve::kBinProtoVersion);
+  // Hello split 5/3 across sends.
+  ASSERT_TRUE(serve::send_all(fd, hello.data(), 5));
+  timespec ts{0, 2'000'000};
+  nanosleep(&ts, nullptr);
+  ASSERT_TRUE(serve::send_all(fd, hello.data() + 5, hello.size() - 5));
+  std::string answer(serve::kBinHelloSize, '\0');
+  std::size_t got = 0;
+  while (got < answer.size()) {
+    const auto n = ::recv(fd, answer.data() + got, answer.size() - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  ASSERT_EQ(serve::decode_hello(answer), serve::kBinProtoVersion);
+
+  serve::FrameBuffer responses;
+  auto read_response = [fd, &responses] {
+    std::string payload;
+    char chunk[256];
+    while (!responses.next(payload)) {
+      const auto n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) throw std::runtime_error("connection died");
+      responses.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    }
+    return payload;
+  };
+  std::uint64_t rid = 1;
+  for (std::size_t cut = 1; cut < 12; ++cut) {
+    const std::string framed = serve::frame(serve::bin_ping(rid));
+    ASSERT_LT(cut, framed.size());
+    ASSERT_TRUE(serve::send_all(fd, framed.data(), cut));
+    nanosleep(&ts, nullptr);
+    ASSERT_TRUE(
+        serve::send_all(fd, framed.data() + cut, framed.size() - cut));
+    const serve::BinResponse r =
+        serve::parse_bin_response(read_response());
+    EXPECT_EQ(r.status, serve::BinStatus::kOk) << "cut at " << cut;
+    EXPECT_EQ(r.rid, rid) << "cut at " << cut;
+    ++rid;
+  }
+  // One byte per send through an entire open request.
+  const std::string framed =
+      serve::frame(serve::bin_open(rid, "equi", 2, 1.0, 0));
+  for (const char c : framed) {
+    ASSERT_TRUE(serve::send_all(fd, &c, 1));
+  }
+  const serve::BinResponse opened =
+      serve::parse_bin_response(read_response());
+  EXPECT_EQ(opened.status, serve::BinStatus::kOk);
+  EXPECT_GT(opened.session, 0u);
+
+  const std::string bye = serve::frame(serve::bin_shutdown(rid + 1));
+  ASSERT_TRUE(serve::send_all(fd, bye.data(), bye.size()));
+  (void)read_response();
+  ::close(fd);
+  server_thread.join();
 }
 
 }  // namespace

@@ -60,6 +60,51 @@ def bench_report(schema=2, torn=False, monotone=True):
     }
 
 
+def cluster_report(drop_table=None, drop_column=None):
+    doc = bench_report()
+    doc["name"] = "serve_cluster"
+    doc["tables"] = [
+        {
+            "name": "cluster_latency",
+            "columns": ["metric", "count", "p50_ms", "p95_ms", "p99_ms"],
+            "rows": [["latency", 100, 0.03, 0.4, 0.6]],
+        },
+        {
+            "name": "cluster_throughput",
+            "columns": ["metric", "sessions", "shards", "requests",
+                        "requests_per_sec", "jobs_per_sec"],
+            "rows": [["throughput", 1000, 4, 25000, 33000.0, 27000.0]],
+        },
+    ]
+    if drop_table:
+        doc["tables"] = [t for t in doc["tables"]
+                         if t["name"] != drop_table]
+    if drop_column:
+        for t in doc["tables"]:
+            if drop_column in t["columns"]:
+                i = t["columns"].index(drop_column)
+                t["columns"].pop(i)
+                for row in t["rows"]:
+                    row.pop(i)
+    return doc
+
+
+def flight_with(extra_events):
+    doc = flight_jsonl()
+    for kind in extra_events:
+        doc.append({
+            "ev": kind,
+            "seq": doc[-1]["seq"] + 1,
+            "id": 7,
+            "t": 9.0,
+            "v": 1.0,
+            "a": 2,
+        })
+        doc[0]["events"] += 1
+        doc[0]["recorded"] += 1
+    return doc
+
+
 def snapshot_jsonl(bad_seq=False, bad_schema=False):
     lines = [{
         "ev": "header",
@@ -142,6 +187,19 @@ def main() -> int:
         ("flight_bad_seq.jsonl", flight_jsonl(bad_seq=True), True, 1),
         ("flight_truncated.jsonl", flight_jsonl(truncated=True), True, 1),
         ("trace_ok.jsonl", trace_jsonl(), True, 0),
+        # serve_cluster table contract: the named report must carry both
+        # gate tables with their gate columns, or the perf gate would
+        # pass vacuously.
+        ("BENCH_serve_cluster.json", cluster_report(), False, 0),
+        ("BENCH_cluster_no_latency.json",
+         cluster_report(drop_table="cluster_latency"), False, 1),
+        ("BENCH_cluster_no_throughput.json",
+         cluster_report(drop_table="cluster_throughput"), False, 1),
+        ("BENCH_cluster_no_p99.json",
+         cluster_report(drop_column="p99_ms"), False, 1),
+        # Migration events are part of the flight-record vocabulary.
+        ("flight_migration.jsonl",
+         flight_with(["migrate", "reroute"]), True, 0),
     ]
 
     with tempfile.TemporaryDirectory(prefix="parsched-validate-") as tmp:

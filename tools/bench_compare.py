@@ -24,6 +24,10 @@ Gates extracted from a report:
     incremental-heaps arm must not lose ground against the clock;
   * the `mean_ms` / `p50_ms` / `p95_ms` / `p99_ms` columns of a
     `client_latency` table (lower is better);
+  * the `p50_ms` / `p95_ms` / `p99_ms` columns of a `cluster_latency`
+    table and the `requests_per_sec` / `jobs_per_sec` columns of a
+    `cluster_throughput` table — the sharded-soak gates (latency lower,
+    throughput higher is better);
   * the p50/p99 bucket quantiles of any histogram metric whose name
     ends in `latency_ms` (lower is better);
   * the `overhead_pct` column of a `flight_recorder_overhead` table is
@@ -95,6 +99,25 @@ TABLE_GATES = {
             ("p50_ms", "lower"),
             ("p95_ms", "lower"),
             ("p99_ms", "lower"),
+        ],
+    ),
+    # Sharded serving plane (parsched loadgen --report-name=serve_cluster):
+    # exact client-side round-trip quantiles over the whole fleet...
+    "cluster_latency": (
+        "metric",
+        [
+            ("p50_ms", "lower"),
+            ("p95_ms", "lower"),
+            ("p99_ms", "lower"),
+        ],
+    ),
+    # ...and the soak's delivered rates (requests retired per wall
+    # second across every shard, and simulated jobs per wall second).
+    "cluster_throughput": (
+        "metric",
+        [
+            ("requests_per_sec", "higher"),
+            ("jobs_per_sec", "higher"),
         ],
     ),
 }

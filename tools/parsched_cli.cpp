@@ -24,6 +24,7 @@
 //            per-task seeds derive from exec::task_seed(base, index)
 //            and results merge in task-index order. Job count and wall
 //            time go to stderr only, never into artifacts.
+#include <algorithm>
 #include <atomic>
 #include <ctime>
 #include <iostream>
@@ -75,14 +76,17 @@ int usage() {
       "  sweep   [--policies=isrpt,equi] [--P=32,64] [--alpha=0.25,0.5]\n"
       "          [--seeds=3] [--seed=1] [--machines=8] [--n=200]\n"
       "          [--jobs=N] [--csv=FILE.csv]\n"
-      "  serve   --stdio | --socket=PATH [--threads=N]\n"
+      "  serve   --stdio | --socket=PATH [--shards=1] [--threads=N]\n"
       "          [--max-sessions=64] [--max-queue=128]\n"
       "          [--stats-interval=SECS [--stats-out=FILE.jsonl]]\n"
       "          [--flight-capacity=4096] [--flight-dump=FILE.jsonl]\n"
       "  loadgen --socket=PATH [--sessions=8] [--admissions=200]\n"
       "          [--rate=64] [--advance-every=16] [--policy=equi]\n"
       "          [--machines=4] [--seed=1] [--stats-every=0]\n"
-      "          [--shutdown]\n";
+      "          [--shape=uniform|zipf|burst|diurnal] [--zipf-theta=1]\n"
+      "          [--burst-per=32] [--diurnal-peak=4] [--workers=0]\n"
+      "          [--binary] [--report-name=serve_loadgen] [--shutdown]\n"
+      "  ctl     --socket=PATH [--timeout=10] '<json request>' ...\n";
   return 2;
 }
 
@@ -430,8 +434,9 @@ int cmd_serve(const Options& opt) {
                  "required\n";
     return usage();
   }
-  serve::Server::Config cfg;
-  cfg.threads = static_cast<int>(opt.get_int("threads", 0));
+  serve::Cluster::Config cfg;
+  cfg.shards = static_cast<int>(opt.get_int("shards", 1));
+  cfg.threads_per_shard = static_cast<int>(opt.get_int("threads", 0));
   cfg.max_sessions =
       static_cast<std::size_t>(opt.get_int("max-sessions", 64));
   cfg.max_queue = static_cast<std::size_t>(opt.get_int("max-queue", 128));
@@ -455,7 +460,9 @@ int cmd_serve(const Options& opt) {
   if (stdio) {
     serve_stdio(handler);
   } else {
-    std::cerr << "serve: listening on " << socket_path << "\n";
+    std::cerr << "serve: listening on " << socket_path << " ("
+              << cfg.shards << " shard" << (cfg.shards == 1 ? "" : "s")
+              << ")\n";
     serve_unix_socket(handler, socket_path);
   }
   return 0;
@@ -481,7 +488,15 @@ int cmd_loadgen(const Options& opt) {
   cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
   cfg.stats_every = static_cast<int>(opt.get_int("stats-every", 0));
   cfg.shutdown_after = opt.get_bool("shutdown", false);
+  cfg.shape = serve::parse_load_shape(opt.get("shape", "uniform"));
+  cfg.zipf_theta = opt.get_double("zipf-theta", 1.0);
+  cfg.burst_per = static_cast<int>(opt.get_int("burst-per", 32));
+  cfg.diurnal_peak = opt.get_double("diurnal-peak", 4.0);
+  cfg.workers = static_cast<int>(opt.get_int("workers", 0));
+  cfg.binary = opt.get_bool("binary", false);
   cfg.metrics = &obs::MetricsRegistry::global();
+  const std::string report_name =
+      opt.get("report-name", "serve_loadgen");
 
   const serve::LoadgenResult r = serve::run_loadgen(cfg);
 
@@ -489,6 +504,9 @@ int cmd_loadgen(const Options& opt) {
             << " sessions finished, " << r.requests << " requests ("
             << r.rejects << " rejected+retried, " << r.errors
             << " errors) in " << r.wall_seconds << "s\n"
+            << "  shape " << serve::load_shape_name(cfg.shape) << ", "
+            << r.shards << " shard(s), "
+            << (cfg.binary ? "PBIN" : "NDJSON") << " wire\n"
             << "  jobs completed " << r.jobs_completed() << "\n"
             << "  total flow     " << r.total_flow() << "\n";
 
@@ -506,20 +524,42 @@ int cmd_loadgen(const Options& opt) {
   }
 
   if (obs::report_enabled()) {
-    obs::BenchReport report("serve_loadgen");
-    for (const serve::SessionOutcome& s : r.sessions) {
+    obs::BenchReport report(report_name);
+    const bool cluster_report = report_name == "serve_cluster";
+    if (cluster_report) {
+      // One fleet-aggregate run: sums and maxes over the sessions, so
+      // the report stays small at 10^3+ sessions and the determinism
+      // gate (totals independent of workers and wire protocol) has a
+      // single row to pin.
       obs::RunReport run;
       run.policy = cfg.policy;
-      run.jobs = s.jobs;
       run.machines = cfg.machines;
-      run.total_flow = s.total_flow;
-      run.weighted_flow = s.weighted_flow;
-      run.fractional_flow = s.fractional_flow;
-      run.makespan = s.makespan;
-      run.decisions = s.decisions;
-      run.events = s.events;
-      run.wall_seconds = s.wall_seconds;
+      run.jobs = r.jobs_completed();
+      run.total_flow = r.total_flow();
+      for (const serve::SessionOutcome& s : r.sessions) {
+        run.weighted_flow += s.weighted_flow;
+        run.fractional_flow += s.fractional_flow;
+        run.makespan = std::max(run.makespan, s.makespan);
+        run.decisions += s.decisions;
+        run.events += s.events;
+      }
+      run.wall_seconds = r.wall_seconds;
       report.add_run(std::move(run));
+    } else {
+      for (const serve::SessionOutcome& s : r.sessions) {
+        obs::RunReport run;
+        run.policy = cfg.policy;
+        run.jobs = s.jobs;
+        run.machines = cfg.machines;
+        run.total_flow = s.total_flow;
+        run.weighted_flow = s.weighted_flow;
+        run.fractional_flow = s.fractional_flow;
+        run.makespan = s.makespan;
+        run.decisions = s.decisions;
+        run.events = s.events;
+        run.wall_seconds = s.wall_seconds;
+        report.add_run(std::move(run));
+      }
     }
     report.set_meta("sessions", static_cast<double>(cfg.sessions));
     report.set_meta("admissions", static_cast<double>(cfg.admissions));
@@ -529,6 +569,10 @@ int cmd_loadgen(const Options& opt) {
     report.set_meta("rejects", static_cast<double>(r.rejects));
     report.set_meta("errors", static_cast<double>(r.errors));
     report.set_meta("stats_scrapes", static_cast<double>(r.stats_scrapes));
+    report.set_meta("shape", serve::load_shape_name(cfg.shape));
+    report.set_meta("shards", static_cast<double>(r.shards));
+    report.set_meta("workers", static_cast<double>(cfg.workers));
+    report.set_meta("wire", cfg.binary ? "pbin" : "ndjson");
     if (lat != nullptr && lat->histogram.total > 0) {
       const obs::HistogramData& h = lat->histogram;
       Table lt({"metric", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"},
@@ -537,12 +581,58 @@ int cmd_loadgen(const Options& opt) {
                   h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)});
       report.add_table("client_latency", lt);
     }
+    if (cluster_report) {
+      // Exact (nearest-rank) quantiles from the raw samples — the
+      // histogram above is bucketed, too coarse for a p99 gate.
+      Table cl({"metric", "count", "p50_ms", "p95_ms", "p99_ms"}, 4);
+      cl.add_row({"latency",
+                  static_cast<double>(r.latencies_ms.size()),
+                  r.latency_quantile_ms(0.5), r.latency_quantile_ms(0.95),
+                  r.latency_quantile_ms(0.99)});
+      report.add_table("cluster_latency", cl);
+
+      const double wall = r.wall_seconds > 0.0 ? r.wall_seconds : 1.0;
+      Table tp({"metric", "sessions", "shards", "requests",
+                "requests_per_sec", "jobs_per_sec"},
+               4);
+      tp.add_row({"throughput", static_cast<double>(cfg.sessions),
+                  static_cast<double>(r.shards),
+                  static_cast<double>(r.requests),
+                  static_cast<double>(r.requests) / wall,
+                  static_cast<double>(r.jobs_completed()) / wall});
+      report.add_table("cluster_throughput", tp);
+    }
     report.set_metrics(snap);
-    report.write(obs::report_path("serve_loadgen"));
+    report.write(obs::report_path(report_name));
     std::cout << "loadgen report written to "
-              << obs::report_path("serve_loadgen") << "\n";
+              << obs::report_path(report_name) << "\n";
   }
   return r.errors == 0 ? 0 : 1;
+}
+
+// Administrative one-shots against a live server: each positional
+// argument is sent as one NDJSON request line over the socket and the
+// response is echoed to stdout. Exit is nonzero when any response is
+// not ok — so CI can `parsched ctl --socket=S '{"op":"evacuate",...}'`
+// and fail the leg if the migration did not happen.
+int cmd_ctl(const Options& opt) {
+  const std::string socket_path = opt.get("socket", "");
+  if (socket_path.empty() || opt.positional().empty()) {
+    std::cerr << "ctl: --socket=PATH and at least one JSON request are "
+                 "required\n";
+    return usage();
+  }
+  serve::Client client(socket_path, opt.get_double("timeout", 10.0));
+  bool all_ok = true;
+  for (const std::string& line : opt.positional()) {
+    const std::string resp = client.request(line);
+    std::cout << resp << "\n";
+    obs::JsonValue v;
+    std::string err;
+    all_ok = all_ok && obs::json_parse(resp, v, &err) &&
+             v.bool_or("ok", false);
+  }
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -560,6 +650,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(opt);
     if (command == "serve") return cmd_serve(opt);
     if (command == "loadgen") return cmd_loadgen(opt);
+    if (command == "ctl") return cmd_ctl(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -40,6 +40,23 @@ FLIGHT_EVENTS = {
     "submit",
     "dispatch",
     "note",
+    "migrate",
+    "reroute",
+}
+
+# Named report kinds with a table contract of their own: report name ->
+# {table name: required columns}. A report claiming one of these names
+# must carry every listed table with at least the listed columns — the
+# perf gate (bench_compare.py) keys its directional bands on them, so a
+# soak that silently dropped a table must fail validation, not pass the
+# gate vacuously.
+REPORT_REQUIRED_TABLES = {
+    "serve_cluster": {
+        "cluster_latency": ["metric", "count", "p50_ms", "p95_ms",
+                            "p99_ms"],
+        "cluster_throughput": ["metric", "sessions", "shards", "requests",
+                               "requests_per_sec", "jobs_per_sec"],
+    },
 }
 
 RUN_REQUIRED = {
@@ -150,6 +167,18 @@ def check_bench_report(doc: dict, where: str) -> None:
                               f"{len(columns)} columns")
     for i, metric in enumerate(need(doc, "metrics", list, where)):
         check_metric(metric, f"{where}.metrics[{i}]")
+    required = REPORT_REQUIRED_TABLES.get(doc["name"], {})
+    by_name = {t.get("name"): t for t in doc["tables"]}
+    for tname, tcols in required.items():
+        if tname not in by_name:
+            raise Invalid(f"{where}: '{doc['name']}' report requires a "
+                          f"'{tname}' table")
+        missing = [c for c in tcols if c not in by_name[tname]["columns"]]
+        if missing:
+            raise Invalid(f"{where}: table '{tname}' missing required "
+                          f"columns {missing}")
+        if not by_name[tname]["rows"]:
+            raise Invalid(f"{where}: table '{tname}' has no rows")
 
 
 def check_chrome_trace(doc: dict, where: str) -> None:
