@@ -31,7 +31,10 @@
 
 namespace parsched::serve {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: appended EngineConfig::fast_rate_kernel (u8) after
+// validate_allocations — the kernel arm is decision arithmetic, so a
+// continuation must know which arm produced the snapshot.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Everything needed to reconstruct a session in a fresh process.
 struct SessionSnapshot {

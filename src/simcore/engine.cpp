@@ -1,6 +1,7 @@
 #include "simcore/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <optional>
 #include <sstream>
@@ -10,10 +11,110 @@
 #include "check/contract.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "speedup/kernel.hpp"
 #include "util/env.hpp"
 #include "util/mathx.hpp"
 
 namespace parsched {
+
+namespace {
+
+/// speedup::PwlRateFn trampoline for piecewise-linear curves: the flat
+/// (kind, alpha) arrays cannot encode a knot vector, so those elements
+/// delegate to the AliveJob's own curve — the exact code path the
+/// pre-SoA scalar loop took, hence bit-identical.
+double pwl_rate_from_alive(const void* ctx, std::size_t i, double x) {
+  const auto* alive = static_cast<const AliveJob*>(ctx);
+  return alive[i].curve.rate(x);
+}
+
+}  // namespace
+
+void AliveSoA::clear() {
+  remaining.clear();
+  release.clear();
+  alpha.clear();
+  kind.clear();
+  alloc.clear();
+  rate.clear();
+}
+
+void AliveSoA::reserve(std::size_t n) {
+  const auto grow = [n](auto& v) {
+    if (v.capacity() < n) v.reserve(std::max(n, v.capacity() * 2));
+  };
+  grow(remaining);
+  grow(release);
+  grow(alpha);
+  grow(kind);
+  grow(alloc);
+  grow(rate);
+}
+
+void AliveSoA::push_back(const AliveJob& a) {
+  remaining.push_back(a.remaining);
+  release.push_back(a.release);
+  alpha.push_back(a.curve.alpha());
+  kind.push_back(static_cast<std::uint8_t>(a.curve.kind()));
+  alloc.push_back(0.0);
+  rate.push_back(0.0);
+}
+
+void AliveSoA::set_curve(std::size_t i, const SpeedupCurve& curve) {
+  alpha[i] = curve.alpha();
+  kind[i] = static_cast<std::uint8_t>(curve.kind());
+}
+
+void AliveSoA::swap_remove(std::size_t i, std::size_t last) {
+  if (i == last) return;
+  remaining[i] = remaining[last];
+  release[i] = release[last];
+  alpha[i] = alpha[last];
+  kind[i] = kind[last];
+  alloc[i] = alloc[last];
+  rate[i] = rate[last];
+}
+
+void AliveSoA::resize(std::size_t n) {
+  remaining.resize(n);
+  release.resize(n);
+  alpha.resize(n);
+  kind.resize(n);
+  alloc.resize(n);
+  rate.resize(n);
+}
+
+void AliveSoA::rebuild(std::span<const AliveJob> alive) {
+  clear();
+  reserve(alive.size());
+  for (const AliveJob& a : alive) push_back(a);
+}
+
+// PARSCHED_AUDIT cross-check: every flat array must mirror the
+// authoritative AliveJob records bit-for-bit. A divergence means a sync
+// site (admit / advance / phase change / completion swap / restore) was
+// missed, and trips here at the step that caused it rather than
+// surfacing later as a wrong rate.
+void Engine::audit_soa() const {
+  const std::size_t n = alive_.size();
+  PARSCHED_CHECK(soa_.size() == n, "SoA mirror size diverged from alive set");
+  PARSCHED_CHECK(soa_.alloc.size() == n && soa_.rate.size() == n,
+                 "SoA scratch arrays diverged from alive set");
+  for (std::size_t i = 0; i < n; ++i) {
+    const AliveJob& a = alive_[i];
+    PARSCHED_CHECK(std::bit_cast<std::uint64_t>(soa_.remaining[i]) ==
+                       std::bit_cast<std::uint64_t>(a.remaining),
+                   "SoA remaining diverged from alive job");
+    PARSCHED_CHECK(std::bit_cast<std::uint64_t>(soa_.release[i]) ==
+                       std::bit_cast<std::uint64_t>(a.release),
+                   "SoA release diverged from alive job");
+    PARSCHED_CHECK(std::bit_cast<std::uint64_t>(soa_.alpha[i]) ==
+                       std::bit_cast<std::uint64_t>(a.curve.alpha()),
+                   "SoA alpha diverged from alive job");
+    PARSCHED_CHECK(soa_.kind[i] == static_cast<std::uint8_t>(a.curve.kind()),
+                   "SoA curve kind diverged from alive job");
+  }
+}
 
 namespace {
 
@@ -91,6 +192,7 @@ void Engine::begin_run(Scheduler& sched) {
   zero_dt_streak_ = 0;
   alloc_warm_n_ = 0;
   flow_q_.clear();
+  soa_.clear();
   inc_orders_.clear();
   rates_valid_ = false;
   stats_ = nullptr;
@@ -165,6 +267,11 @@ void Engine::admit_job_now(Job j) {
   a.phase_remaining = j.phases.empty() ? j.size : j.phases[0].work;
   alive_.push_back(std::move(a));
   flow_q_.push_back(FlowQ{});  // memo slot starts invalid
+  // SoA mirror: pre-pay growth (geometric, outside the guarded scopes),
+  // then append the new job's hot fields. alloc/rate slots start 0 and
+  // are overwritten by the next compute_rates().
+  soa_.reserve(alive_.size());
+  soa_.push_back(alive_.back());
   // Keep the completion-scan scratch's capacity at least the alive count
   // (geometric growth, amortized O(1) per admission): the fused advance
   // sweep may push up to |alive| completed positions, and pre-paying the
@@ -223,44 +330,53 @@ void Engine::release_due() {
 }
 
 PARSCHED_HOT void Engine::compute_rates(bool validate) {
-  // One fused pass over the decision's shares: feasibility validation
-  // (when requested) and the per-job rates that hold until the next
-  // event, plus the earliest phase end under those rates. rates_ is
-  // engine scratch: every entry is overwritten here, so resize (never a
-  // clear-and-fill) is enough and the buffer's capacity survives across
-  // steps. The share == 0 fast path is exact, not approximate: every
-  // speedup curve has Γ(0) = 0 identically (rate() returns x for
-  // x <= 1), so skipping the out-of-line call changes no bit — and in
-  // SRPT-style allocations almost all of a dense alive set holds
-  // share 0.
+  // The decision's shares → rates pass, restructured over the SoA
+  // mirror: (1) a validation+copy sweep moves the shares into the dense
+  // soa_.alloc array, (2) one batched kernel call evaluates every
+  // Γ_i(x_i) into soa_.rate, (3) a dense scan derives the earliest
+  // phase end and the nonzero-rate count. The split is bit-neutral
+  // against the old fused scalar loop: the default kernel arm computes
+  // `speed * Γ(s)` with the exact per-element arithmetic rate() used
+  // (a zero share yields speed * 0.0 == +0.0, the same bits the old
+  // skip wrote), validation still sees every share before any throw
+  // escapes, and dt_complete minimizes over the same values in the
+  // same index order. soa_.alloc/rate are engine scratch sized at
+  // admission, so nothing here resizes — the AllocGuard fence around
+  // this call stays armed.
   const Allocation& alloc = cached_alloc_;
-  double dt_complete = kInf;
+  const std::size_t n = alive_.size();
   double sum = 0.0;
-  std::size_t nonzero = 0;
-  rates_.resize(alive_.size());
-  for (std::size_t i = 0; i < alive_.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const double s = alloc.shares[i];
     if (validate && !(s >= 0.0)) {
       throw std::logic_error("negative share from policy " +  // lint: alloc-ok
                              sched_->name());
     }
     sum += s;
-    // Exactly-zero share means exactly-zero rate (Γ(0) = 0); the skip
-    // must not fire for any nonzero share.
-    const double r =
-        s != 0.0 ? cfg_.speed * alive_[i].curve.rate(s)  // lint: float-eq-ok
-                 : 0.0;
-    rates_[i] = r;
+    soa_.alloc[i] = s;
+  }
+  if (validate && sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
+    throw std::logic_error("overcommitted shares from " +  // lint: alloc-ok
+                           sched_->name());
+  }
+  const speedup::PwlRateFn pwl{&pwl_rate_from_alive, alive_.data()};
+  if (cfg_.fast_rate_kernel) {
+    speedup::rate_batch_fast(soa_.kind, soa_.alpha, soa_.alloc, cfg_.speed,
+                             soa_.rate, pwl);
+  } else {
+    speedup::rate_batch(soa_.kind, soa_.alpha, soa_.alloc, cfg_.speed,
+                        soa_.rate, pwl);
+  }
+  double dt_complete = kInf;
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = soa_.rate[i];
     if (r > 0.0) {
       ++nonzero;
       // The end of the current *phase* is the next per-job event (for a
       // single-phase job that is its completion).
       dt_complete = std::min(dt_complete, alive_[i].phase_remaining / r);
     }
-  }
-  if (validate && sum > static_cast<double>(m_) * (1.0 + 1e-9) + 1e-9) {
-    throw std::logic_error("overcommitted shares from " +  // lint: alloc-ok
-                           sched_->name());
   }
   dt_complete_ = dt_complete;
   rates_nonzero_ = nonzero;
@@ -399,7 +515,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
     }
   }
   for (std::size_t i = 0; i < alive_.size(); ++i) {
-    const double r = rates_[i];
+    const double r = soa_.rate[i];
     FlowQ& fq = flow_q_[i];
     if (r == 0.0 && fq.needs_full == 0) {  // lint: float-eq-ok
       result_.fractional_flow += fq.q * dt;
@@ -412,6 +528,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
       after = std::max(0.0, before - r * dt);
       result_.fractional_flow += 0.5 * (before + after) / a.size * dt;
       a.remaining = after;
+      soa_.remaining[i] = after;
       a.phase_remaining = std::max(0.0, a.phase_remaining - r * dt);
       if (inc_eager) inc_orders_.update_remaining(i, after);
     } else {
@@ -421,6 +538,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
       after = std::max(0.0, before);
       result_.fractional_flow += 0.5 * (before + after) / a.size * dt;
       a.remaining = after;
+      soa_.remaining[i] = after;
       a.phase_remaining = std::max(0.0, a.phase_remaining);
     }
     fq.q = 0.5 * (after + after) / a.size;
@@ -431,6 +549,9 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
       ++a.phase;
       a.phase_remaining = a.phases[a.phase].work;
       a.curve = a.phases[a.phase].curve;
+      // The new phase's curve is what the job responds to from now on:
+      // refresh the SoA (kind, alpha) mirror with it.
+      soa_.set_curve(i, a.curve);
       phase_advanced = true;
     }
     if (after <= tol) comp_idx_.push_back(i);
@@ -486,6 +607,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
         // the back entry (alive index `end`) to i — the same move the
         // alive_/flow_q_ lines below perform. O(log n) per heap.
         if (inc_on_) inc_orders_.remove_swap(i, end);
+        soa_.swap_remove(i, end);
         if (i == end) break;
         alive_[i] = std::move(alive_[end]);
         flow_q_[i] = flow_q_[end];
@@ -498,6 +620,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
     }
     alive_.resize(end);
     flow_q_.resize(end);
+    soa_.resize(end);
   }
   const std::size_t n_completed = result_.records.size() - first_new_record;
   if (n_completed > 0 && !observers_.empty()) {
@@ -532,7 +655,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
     os << "zero-length decision intervals are making no progress";
     std::uint64_t stuck = 0;
     for (std::size_t i = 0; i < alive_.size(); ++i) {
-      if (rates_[i] > 0.0 && alive_[i].phase_remaining <= 0.0) {
+      if (soa_.rate[i] > 0.0 && alive_[i].phase_remaining <= 0.0) {
         const AliveJob& a = alive_[i];
         stuck = static_cast<std::uint64_t>(a.id);
         os << "; stuck job id=" << a.id << " (phase "
@@ -552,6 +675,7 @@ PARSCHED_HOT Engine::Step Engine::decision_step(double t_arrive,
   // here trips a contract failure at the step that caused it instead of
   // surfacing decisions later as a wrong ordering.
   if (audit_allocs_ && inc_on_) inc_orders_.audit(alive_);
+  if (audit_allocs_) audit_soa();
   if (cfg_.recorder != nullptr) {
     cfg_.recorder->record(obs::FlightEvent::kDecision, result_.decisions,
                           now_, dt,
@@ -722,6 +846,12 @@ void Engine::import_state(const EngineState& s, Scheduler& sched) {
   if (s.config.time_tol != cfg_.time_tol) {
     throw std::invalid_argument("snapshot time_tol mismatch");
   }
+  // Unlike use_context_cache, the kernel arm changes the decision
+  // arithmetic (exp(α·log x) vs pow), so a continuation under a
+  // different arm would drift from the donor trajectory ULP-by-ULP.
+  if (s.config.fast_rate_kernel != cfg_.fast_rate_kernel) {
+    throw std::invalid_argument("snapshot rate-kernel arm mismatch");
+  }
   sched_ = &sched;  // no reset(): the caller restored the policy's state
   streaming_ = true;
   now_ = s.now;
@@ -738,6 +868,7 @@ void Engine::import_state(const EngineState& s, Scheduler& sched) {
   zero_dt_streak_ = 0;  // scratch, not state: restart the livelock guard
   alloc_warm_n_ = 0;  // scratch is cold after a restore; re-warm unguarded
   flow_q_.assign(alive_.size(), FlowQ{});  // memos rebuild lazily
+  soa_.rebuild(alive_);
   comp_idx_.reserve(alive_.size());
   ctx_cache_.reserve(alive_.size());
   // The heaps are derived state: rebuild the latest-arrival heap from

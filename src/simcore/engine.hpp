@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 #include <unordered_set>
 
@@ -77,6 +78,15 @@ struct EngineConfig {
   /// engine.decide/solver/observer when collect_stats is also set).
   /// Borrowed; must outlive run().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Evaluate the per-decision rates Γ_j(x_j) with the batched
+  /// exp(α·log x) kernel (speedup/kernel.hpp rate_batch_fast) instead of
+  /// the scalar-identical rate_batch arm. Power-law rates at x > 1 then
+  /// differ from the scalar arm by a bounded ULP distance (bit-exact at
+  /// x <= 1 and for sequential / fully-parallel / piecewise-linear
+  /// curves), so this IS simulation semantics: it is serialized in
+  /// session snapshots and checked by import_state() — a continuation
+  /// must replay the donor's kernel arm or it silently diverges.
+  bool fast_rate_kernel = false;
   /// Optional flight recorder (obs/flight_recorder.hpp): the engine
   /// records decision steps, admissions, completions and stalls into it,
   /// and — when the recorder has a dump path armed — dumps the ring
@@ -119,6 +129,49 @@ struct EngineState {
   bool has_cached_alloc = false;
   Allocation cached_alloc;
   SimResult result;
+};
+
+/// Structure-of-arrays mirror of the alive set's hot fields, owned by
+/// the engine beside `alive_` and kept in sync at every mutation point
+/// (admit, the advance sweep's remaining/phase updates, the completion
+/// swap-remove, snapshot import). The decision hot path reads these
+/// dense arrays — the fused rates pass runs speedup/kernel.hpp's batch
+/// kernels over (kind, alpha, alloc) and writes `rate`; the dt-to-
+/// completion scan and the advance sweep read `rate` — instead of
+/// striding through the ~150-byte AliveJob records, which is the stated
+/// unblocker for dense-alive runs at n = 10⁶.
+///
+/// Derived state, not simulation state: every entry is recomputable
+/// from `alive_` (alloc/rate from the current decision's shares), so —
+/// like the ContextCache and the IncrementalOrders heaps — none of it
+/// appears in EngineState; import_state() rebuilds it. All vectors are
+/// pre-reserved at admission (geometric growth, outside the AllocGuard
+/// fences), so warm decision steps stay allocation-free with the SoA
+/// arrays exactly as they were without them. PARSCHED_AUDIT=1 re-checks
+/// the mirror field-for-field against `alive_` after every advanced
+/// step (Engine::audit_soa).
+struct AliveSoA {
+  std::vector<double> remaining;      ///< == alive_[i].remaining
+  std::vector<double> release;        ///< == alive_[i].release
+  std::vector<double> alpha;          ///< == alive_[i].curve.alpha()
+  std::vector<std::uint8_t> kind;     ///< == uint8(alive_[i].curve.kind())
+  std::vector<double> alloc;          ///< this decision's shares
+  std::vector<double> rate;           ///< this decision's rates Γ(share)
+  [[nodiscard]] std::size_t size() const { return remaining.size(); }
+  void clear();
+  /// Geometric pre-reservation for up to n jobs (amortized O(1)/admit).
+  void reserve(std::size_t n);
+  /// Mirror of alive_.push_back(a); alloc/rate slots start at 0.
+  void push_back(const AliveJob& a);
+  /// Mirror of the job at `i` advancing to the given phase curve.
+  void set_curve(std::size_t i, const SpeedupCurve& curve);
+  /// Mirror of the engine's completion swap-remove: entry `last` moves
+  /// into slot `i` (i == last removes the back); caller resizes after
+  /// the sweep via resize().
+  void swap_remove(std::size_t i, std::size_t last);
+  void resize(std::size_t n);
+  /// Rebuild every array from an alive set (snapshot import).
+  void rebuild(std::span<const AliveJob> alive);
 };
 
 class Engine final : public EngineView {
@@ -197,6 +250,12 @@ class Engine final : public EngineView {
     return completed_.count(id) > 0;
   }
 
+  /// Test/audit surface: the SoA mirror of the alive set. Read-only;
+  /// index-aligned with the engine's alive order (the order EngineState
+  /// serializes). tests/test_rate_kernel.cpp's sync property test and
+  /// the PARSCHED_AUDIT mirror check consume this.
+  [[nodiscard]] const AliveSoA& alive_soa() const { return soa_; }
+
  private:
   enum class Step : std::uint8_t {
     kAdvanced,  ///< one decision interval executed
@@ -212,6 +271,9 @@ class Engine final : public EngineView {
   void drain_to(double horizon);
   Step decision_step(double t_arrive, double horizon, double& t_section);
   void compute_rates(bool validate);
+  /// PARSCHED_AUDIT: cross-check the SoA mirror against alive_
+  /// field-for-field (bit equality). O(n), audit runs only.
+  void audit_soa() const;
   /// Flight-recorder failure hook: record a stall/trip event and dump the
   /// ring (no-op without a recorder). Cold path only.
   void record_failure(bool contract_trip, std::uint64_t id,
@@ -243,7 +305,11 @@ class Engine final : public EngineView {
   // is simulation state: everything here is either overwritten before use
   // each step or a self-validating memo of values derivable from alive_,
   // and all of it is deliberately absent from EngineState.
-  std::vector<double> rates_;
+  /// SoA mirror of the alive set (see AliveSoA above). `alloc`/`rate`
+  /// double as the decision scratch the old flat `rates_` vector was:
+  /// compute_rates() overwrites both, and their values for a *deferred*
+  /// decision stay frozen with it (the rates_valid_ protocol below).
+  AliveSoA soa_;
   ContextCache ctx_cache_;
   /// Persistent ordering heaps (the incremental arm). Unlike the rest of
   /// this scratch block the heaps carry state *across* decision steps —

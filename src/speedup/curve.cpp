@@ -189,12 +189,16 @@ bool is_valid_speedup_curve(const SpeedupCurve& c, double x_max, int samples,
     const double x = static_cast<double>(i) / 16.0;
     if (std::fabs(c.rate(x) - x) > tol) return false;
   }
-  // Nondecreasing and concave by sampling on [0, x_max].
+  // Nondecreasing and concave by sampling on [0, x_max]. Non-finite
+  // samples must be rejected explicitly first: NaN fails *every*
+  // comparison, so a NaN y would sail through both the monotonicity and
+  // concavity checks below and validate a garbage curve.
   double prev_x = 0.0, prev_y = 0.0;
   double prev_slope = std::numeric_limits<double>::infinity();
   for (int i = 1; i <= samples; ++i) {
     const double x = x_max * static_cast<double>(i) / samples;
     const double y = c.rate(x);
+    if (!std::isfinite(y)) return false;
     if (y + tol < prev_y) return false;
     const double slope = (y - prev_y) / (x - prev_x);
     if (slope > prev_slope + 1e-6) return false;

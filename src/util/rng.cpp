@@ -78,10 +78,15 @@ double Rng::log_uniform(double lo, double hi) {
 double Rng::bounded_pareto(double lo, double hi, double shape) {
   PARSCHED_DCHECK(0.0 < lo && lo < hi && shape > 0.0,
                   "bounded_pareto needs 0 < lo < hi and positive shape");
-  const double la = std::pow(lo, shape);
-  const double ha = std::pow(hi, shape);
+  // Inverse-CDF in the stable form lo·(1 − u·(1 − (lo/hi)^a))^(−1/a).
+  // The textbook form pow(-(u·hi^a − u·lo^a − hi^a)/(hi^a·lo^a), −1/a)
+  // overflows hi^a to inf once hi·shape is large, turning the numerator
+  // into inf − inf = NaN; here (lo/hi)^a ∈ (0, 1] never overflows, and
+  // the result is clamped to [lo, hi] by construction: u = 0 gives
+  // lo·1 = lo and u → 1 gives lo·((lo/hi)^a)^(−1/a) = hi.
   const double u = uniform01();
-  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / shape);
+  const double ratio_a = std::pow(lo / hi, shape);
+  return lo * std::pow(1.0 - u * (1.0 - ratio_a), -1.0 / shape);
 }
 
 bool Rng::bernoulli(double p) { return uniform01() < p; }

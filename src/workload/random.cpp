@@ -58,11 +58,13 @@ double mean_size(SizeLaw law, double P) {
     case SizeLaw::kLogUniform:
       return P > 1.0 ? (P - 1.0) / std::log(P) : 1.0;
     case SizeLaw::kBoundedPareto: {
-      // E[X] for bounded Pareto(1, P, a=1.1).
+      // E[X] for bounded Pareto(lo=1, hi=P, a=1.1):
+      //   a/(a−1) · (1 − P^(1−a)) / (1 − P^(−a))
+      // (the general lo^a prefactor is identically 1 at lo = 1).
       const double a = 1.1;
       if (P <= 1.0) return 1.0;
-      return std::pow(1.0, a) / (1.0 - std::pow(1.0 / P, a)) * a /
-             (a - 1.0) * (1.0 - std::pow(P, 1.0 - a));
+      return a / (a - 1.0) * (1.0 - std::pow(P, 1.0 - a)) /
+             (1.0 - std::pow(1.0 / P, a));
     }
     case SizeLaw::kBimodal:
       return 0.9 + 0.1 * P;

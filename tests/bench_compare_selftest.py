@@ -81,6 +81,19 @@ def report():
                 "rows": [["throughput", 1000, 4, 25000, 33000.0,
                           27000.0]],
             },
+            {
+                "name": "rate_kernel",
+                "columns": ["case", "population", "n",
+                            "scalar_melems_per_sec",
+                            "batch_melems_per_sec", "fast_melems_per_sec",
+                            "batch_speedup", "fast_speedup"],
+                "rows": [
+                    ["shared_n10000", "shared", 10000, 40.0, 42.0, 900.0,
+                     1.05, 22.5],
+                    ["mixed_n10000", "mixed", 10000, 38.0, 39.0, 41.0,
+                     1.03, 1.08],
+                ],
+            },
         ],
         "metrics": [{
             "name": "serve.client.latency_ms",
@@ -128,6 +141,14 @@ def scale_rates(doc, factor):
                     row[i] /= factor
         if t["name"] == "cluster_throughput":
             for col in ("requests_per_sec", "jobs_per_sec"):
+                i = t["columns"].index(col)
+                for row in t["rows"]:
+                    row[i] *= factor
+        if t["name"] == "rate_kernel":
+            # Element rates move with the machine; the speedup columns
+            # are paired ratios and stay put (absolute-floor territory).
+            for col in ("scalar_melems_per_sec", "batch_melems_per_sec",
+                        "fast_melems_per_sec"):
                 i = t["columns"].index(col)
                 for row in t["rows"]:
                     row[i] *= factor
@@ -223,8 +244,39 @@ def main() -> int:
         t["rows"][0][i] *= 1.6
         return doc
 
+    def kernel_rate_regressed(doc):
+        # The batch arm loses 25% element throughput while every sibling
+        # gate holds — must fail even under calibration.
+        t = next(t for t in doc["tables"] if t["name"] == "rate_kernel")
+        i = t["columns"].index("batch_melems_per_sec")
+        t["rows"][0][i] *= 0.75
+        return doc
+
+    def kernel_shared_floor_broken(doc):
+        # The shared-population fast-vs-scalar ratio falls below the 2x
+        # acceptance floor: absolute, candidate-only, filtered to the
+        # rows where the memo can fire.
+        t = next(t for t in doc["tables"] if t["name"] == "rate_kernel")
+        i = t["columns"].index("fast_speedup")
+        t["rows"][0][i] = 1.4
+        return doc
+
+    def kernel_mixed_below_two(doc):
+        # A mixed-population fast_speedup below 2 is EXPECTED (the memo
+        # cannot fire) — the filtered floor must not flag it.
+        t = next(t for t in doc["tables"] if t["name"] == "rate_kernel")
+        i = t["columns"].index("fast_speedup")
+        t["rows"][1][i] = 0.97
+        return doc
+
     cases = [
         ("identical", lambda d: d, ["--auto-scale"], 0),
+        ("kernel_rate_regressed", kernel_rate_regressed,
+         ["--auto-scale"], 1),
+        ("kernel_shared_floor_broken", kernel_shared_floor_broken,
+         ["--auto-scale"], 1),
+        ("kernel_mixed_below_two", kernel_mixed_below_two,
+         ["--auto-scale"], 0),
         ("regressed_one_gate", regressed_one_gate, ["--auto-scale"], 1),
         ("regressed_no_scale", regressed_one_gate, [], 1),
         ("uniformly_slower_scaled", uniformly_slower, ["--auto-scale"], 0),

@@ -228,7 +228,8 @@ Instance dense_alive_instance(std::size_t n) {
 /// Drives the dense-alive instance to completion with the audit fences
 /// armed; any allocation in a warm decision step throws ContractViolation
 /// and fails the test. Returns the number of guarded scopes entered.
-std::uint64_t run_audited(bool use_cache, bool use_incremental) {
+std::uint64_t run_audited(bool use_cache, bool use_incremental,
+                          bool fast_kernel = false) {
   setenv("PARSCHED_AUDIT", "1", 1);
   const std::uint64_t scopes_before = alloc_guard_scopes_entered();
   const Instance inst = dense_alive_instance(10'000);
@@ -236,6 +237,7 @@ std::uint64_t run_audited(bool use_cache, bool use_incremental) {
   EngineConfig cfg;
   cfg.use_context_cache = use_cache;
   cfg.use_incremental_orders = use_incremental;
+  cfg.fast_rate_kernel = fast_kernel;
   const SimResult r = simulate(inst, *sched, cfg);
   unsetenv("PARSCHED_AUDIT");
   EXPECT_EQ(r.jobs(), 10'000u);
@@ -267,6 +269,18 @@ TEST(EngineAllocAudit, DenseAliveRunIsAllocationFreeWithFallbackPath) {
   SKIP_WITHOUT_HOOK();
   const std::uint64_t scopes = run_audited(/*use_cache=*/false,
                                            /*use_incremental=*/false);
+  EXPECT_GE(scopes, 10'000u);
+}
+
+TEST(EngineAllocAudit, DenseAliveRunIsAllocationFreeWithFastRateKernel) {
+  SKIP_WITHOUT_HOOK();
+  // The opt-in exp(α·log x) kernel arm runs over the same pre-reserved
+  // SoA arrays as the default arm — its memo is three stack doubles, so
+  // the fenced decision steps stay allocation-free. (PARSCHED_AUDIT=1
+  // also cross-checks the SoA mirror against alive_ every decision.)
+  const std::uint64_t scopes = run_audited(/*use_cache=*/true,
+                                           /*use_incremental=*/true,
+                                           /*fast_kernel=*/true);
   EXPECT_GE(scopes, 10'000u);
 }
 

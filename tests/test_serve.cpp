@@ -363,7 +363,7 @@ TEST(Snapshot, CorruptBlobsAreRejected) {
                std::invalid_argument);
 }
 
-static_assert(serve::kSnapshotVersion == 1,
+static_assert(serve::kSnapshotVersion == 2,
               "update CorruptBlobsAreRejected's version-byte offset when "
               "the snapshot format changes");
 

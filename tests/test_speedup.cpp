@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "speedup/curve.hpp"
 #include "util/rng.hpp"
@@ -87,6 +88,18 @@ TEST(Curve, ValidityChecker) {
   EXPECT_TRUE(is_valid_speedup_curve(SpeedupCurve::power_law(0.9)));
   EXPECT_TRUE(is_valid_speedup_curve(
       SpeedupCurve::piecewise_linear({{2.0, 1.5}, {8.0, 3.0}})));
+}
+
+TEST(Curve, ValidityCheckerRejectsNonFiniteRates) {
+  // A NaN knot sneaks through piecewise_linear's construction checks
+  // (NaN fails every comparison, so "y1 < y0" and "slope > prev" are
+  // both false) and then poisons every interpolated rate() above x = 1.
+  // The validator must reject such a curve explicitly rather than let
+  // NaN sail through its monotonicity/concavity comparisons too.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const SpeedupCurve c = SpeedupCurve::piecewise_linear({{2.0, nan}});
+  ASSERT_TRUE(std::isnan(c.rate(1.5)));  // the hazard is real
+  EXPECT_FALSE(is_valid_speedup_curve(c));
 }
 
 TEST(Curve, EqualityAndToString) {

@@ -89,6 +89,49 @@ def cluster_report(drop_table=None, drop_column=None):
     return doc
 
 
+def e11_report(drop_table=None, drop_column=None):
+    doc = bench_report()
+    doc["name"] = "e11_engine_perf"
+    doc["tables"] = [
+        {
+            "name": "dense_alive",
+            "columns": ["n", "reps", "decisions_per_sec"],
+            "rows": [[1000, 10, 90000.0]],
+        },
+        {
+            "name": "incremental_orders",
+            "columns": ["n", "decisions_per_sec_incremental",
+                        "decide_speedup"],
+            "rows": [[100000, 1600.0, 16.0]],
+        },
+        {
+            "name": "flight_recorder_overhead",
+            "columns": ["n", "overhead_pct"],
+            "rows": [[1000, 1.2]],
+        },
+        {
+            "name": "rate_kernel",
+            "columns": ["case", "population", "n",
+                        "scalar_melems_per_sec", "batch_melems_per_sec",
+                        "fast_melems_per_sec", "batch_speedup",
+                        "fast_speedup"],
+            "rows": [["shared_n10000", "shared", 10000, 40.0, 42.0,
+                      300.0, 1.05, 7.5]],
+        },
+    ]
+    if drop_table:
+        doc["tables"] = [t for t in doc["tables"]
+                         if t["name"] != drop_table]
+    if drop_column:
+        for t in doc["tables"]:
+            if drop_column in t["columns"]:
+                i = t["columns"].index(drop_column)
+                t["columns"].pop(i)
+                for row in t["rows"]:
+                    row.pop(i)
+    return doc
+
+
 def flight_with(extra_events):
     doc = flight_jsonl()
     for kind in extra_events:
@@ -195,6 +238,15 @@ def main() -> int:
          cluster_report(drop_table="cluster_latency"), False, 1),
         ("BENCH_cluster_no_throughput.json",
          cluster_report(drop_table="cluster_throughput"), False, 1),
+        # e11_engine_perf table contract: the perf-baseline report must
+        # carry every microbenchmark table bench_compare gates on — a
+        # report that silently dropped rate_kernel (e.g. stale emit
+        # wiring) must fail validation here, not pass the gate vacuously.
+        ("BENCH_e11_engine_perf.json", e11_report(), False, 0),
+        ("BENCH_e11_no_rate_kernel.json",
+         e11_report(drop_table="rate_kernel"), False, 1),
+        ("BENCH_e11_no_fast_speedup.json",
+         e11_report(drop_column="fast_speedup"), False, 1),
         ("BENCH_cluster_no_p99.json",
          cluster_report(drop_column="p99_ms"), False, 1),
         # Migration events are part of the flight-record vocabulary.

@@ -120,6 +120,18 @@ TABLE_GATES = {
             ("jobs_per_sec", "higher"),
         ],
     ),
+    # Rate-kernel microbenchmark (scalar vs batch vs fast arms over the
+    # SoA flat arrays). The speedup columns are paired same-machine
+    # ratios — gated by the absolute floor below, not here, for the same
+    # reason as decide_speedup.
+    "rate_kernel": (
+        "case",
+        [
+            ("scalar_melems_per_sec", "higher"),
+            ("batch_melems_per_sec", "higher"),
+            ("fast_melems_per_sec", "higher"),
+        ],
+    ),
 }
 
 # table name -> (cap column, cap value): candidate-only absolute bound.
@@ -127,11 +139,15 @@ TABLE_CAPS = {
     "flight_recorder_overhead": ("overhead_pct", 3.0),
 }
 
-# table name -> (floor column, floor value): candidate-only absolute
-# lower bound, for paired same-machine ratios that carry an acceptance
-# bar of their own (no baseline needed to judge them).
+# table name -> (floor column, floor value, row filter): candidate-only
+# absolute lower bound, for paired same-machine ratios that carry an
+# acceptance bar of their own (no baseline needed to judge them). The
+# filter is None (every row) or a (column, value) pair selecting the
+# rows the floor applies to — the fast-kernel 2x bar holds only where
+# the shared-(x, α) memo can fire, not on mixed populations.
 TABLE_FLOORS = {
-    "incremental_orders": ("decide_speedup", 5.0),
+    "incremental_orders": ("decide_speedup", 5.0, None),
+    "rate_kernel": ("fast_speedup", 2.0, ("population", "shared")),
 }
 
 HISTOGRAM_QUANTILE_GATES = ("p50", "p99")
@@ -247,7 +263,7 @@ def check_caps(cand: dict, problems: list) -> None:
                     f"{name}[{row[0]}].{col} = {row[idx]} exceeds the "
                     f"absolute cap {cap}"
                 )
-    for name, (col, floor) in TABLE_FLOORS.items():
+    for name, (col, floor, row_filter) in TABLE_FLOORS.items():
         ct = table_by_name(cand, name)
         if ct is None:
             continue
@@ -255,7 +271,14 @@ def check_caps(cand: dict, problems: list) -> None:
         if col not in cols:
             continue
         idx = cols.index(col)
+        filter_idx = None
+        if row_filter is not None:
+            if row_filter[0] not in cols:
+                continue
+            filter_idx = cols.index(row_filter[0])
         for row in ct.get("rows", []):
+            if filter_idx is not None and row[filter_idx] != row_filter[1]:
+                continue
             if float(row[idx]) < floor:
                 problems.append(
                     f"{name}[{row[0]}].{col} = {row[idx]} below the "

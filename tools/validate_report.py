@@ -57,6 +57,15 @@ REPORT_REQUIRED_TABLES = {
         "cluster_throughput": ["metric", "sessions", "shards", "requests",
                                "requests_per_sec", "jobs_per_sec"],
     },
+    "e11_engine_perf": {
+        "dense_alive": ["n", "decisions_per_sec"],
+        "incremental_orders": ["n", "decisions_per_sec_incremental",
+                               "decide_speedup"],
+        "flight_recorder_overhead": ["n", "overhead_pct"],
+        "rate_kernel": ["case", "population", "scalar_melems_per_sec",
+                        "batch_melems_per_sec", "fast_melems_per_sec",
+                        "fast_speedup"],
+    },
 }
 
 RUN_REQUIRED = {
